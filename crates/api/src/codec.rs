@@ -1,0 +1,745 @@
+//! Compact binary trace serialization.
+//!
+//! GLInterceptor's whole point is the trace *file*: record once, replay
+//! anywhere. This module gives [`Trace`] a self-contained binary format
+//! (magic + version + length-prefixed records) with no external
+//! dependencies, so traces can be written to disk and replayed by a later
+//! process bit-exactly.
+
+use gwc_math::Vec4;
+use gwc_raster::{BlendFactor, BlendState, CompareFunc, CullMode, DepthState, FrontFace,
+                 PrimitiveType, StencilOp, StencilState};
+use gwc_shader::{Instr, Opcode, Program, ProgramKind, Reg, RegFile, Src, Swizzle, WriteMask};
+use gwc_texture::{FilterMode, Image, SamplerState, TexFormat, WrapMode};
+
+use crate::command::{ClearMask, Command, Indices, StateCommand, VertexLayout};
+use crate::trace::Trace;
+
+/// File magic: `GWCT`.
+const MAGIC: [u8; 4] = *b"GWCT";
+/// Format version.
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding a trace blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The blob ended mid-record.
+    Truncated,
+    /// An enum discriminant was out of range.
+    BadTag(u8),
+    /// An embedded shader program failed validation on decode.
+    BadProgram,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a GWC trace (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => write!(f, "trace ends mid-record"),
+            CodecError::BadTag(t) => write!(f, "invalid enum tag {t}"),
+            CodecError::BadProgram => write!(f, "embedded program failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn vec4(&mut self, v: Vec4) {
+        self.f32(v.x);
+        self.f32(v.y);
+        self.f32(v.z);
+        self.f32(v.w);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+    fn vec4(&mut self) -> Result<Vec4, CodecError> {
+        Ok(Vec4::new(self.f32()?, self.f32()?, self.f32()?, self.f32()?))
+    }
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Truncated)
+    }
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+// ---- enum codecs ------------------------------------------------------
+
+macro_rules! enum_codec {
+    ($ty:ty, $write:ident, $read:ident, [$($variant:path),+ $(,)?]) => {
+        fn $write(w: &mut Writer, v: $ty) {
+            let variants = [$($variant),+];
+            let idx = variants.iter().position(|x| *x == v).expect("variant listed");
+            w.u8(idx as u8);
+        }
+        fn $read(r: &mut Reader) -> Result<$ty, CodecError> {
+            let variants = [$($variant),+];
+            let tag = r.u8()?;
+            variants.get(tag as usize).copied().ok_or(CodecError::BadTag(tag))
+        }
+    };
+}
+
+enum_codec!(PrimitiveType, w_prim, r_prim, [
+    PrimitiveType::TriangleList,
+    PrimitiveType::TriangleStrip,
+    PrimitiveType::TriangleFan,
+]);
+enum_codec!(CompareFunc, w_cmp, r_cmp, [
+    CompareFunc::Never,
+    CompareFunc::Less,
+    CompareFunc::Equal,
+    CompareFunc::LessEqual,
+    CompareFunc::Greater,
+    CompareFunc::NotEqual,
+    CompareFunc::GreaterEqual,
+    CompareFunc::Always,
+]);
+enum_codec!(StencilOp, w_sop, r_sop, [
+    StencilOp::Keep,
+    StencilOp::Zero,
+    StencilOp::Replace,
+    StencilOp::IncrClamp,
+    StencilOp::DecrClamp,
+    StencilOp::IncrWrap,
+    StencilOp::DecrWrap,
+    StencilOp::Invert,
+]);
+enum_codec!(CullMode, w_cull, r_cull, [CullMode::None, CullMode::Back, CullMode::Front]);
+enum_codec!(FrontFace, w_ff, r_ff, [FrontFace::Ccw, FrontFace::Cw]);
+enum_codec!(BlendFactor, w_bf, r_bf, [
+    BlendFactor::Zero,
+    BlendFactor::One,
+    BlendFactor::SrcAlpha,
+    BlendFactor::OneMinusSrcAlpha,
+    BlendFactor::DstColor,
+    BlendFactor::SrcColor,
+]);
+enum_codec!(TexFormat, w_fmt, r_fmt, [
+    TexFormat::Rgba8,
+    TexFormat::L8,
+    TexFormat::Dxt1,
+    TexFormat::Dxt3,
+    TexFormat::Dxt5,
+]);
+enum_codec!(WrapMode, w_wrap, r_wrap, [WrapMode::Repeat, WrapMode::Clamp, WrapMode::Mirror]);
+enum_codec!(RegFile, w_file, r_file, [
+    RegFile::Input,
+    RegFile::Temp,
+    RegFile::Constant,
+    RegFile::Output,
+]);
+enum_codec!(Opcode, w_op, r_op, [
+    Opcode::Mov, Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Mad,
+    Opcode::Dp3, Opcode::Dp4, Opcode::Min, Opcode::Max, Opcode::Slt,
+    Opcode::Sge, Opcode::Rcp, Opcode::Rsq, Opcode::Ex2, Opcode::Lg2,
+    Opcode::Frc, Opcode::Cmp, Opcode::Lrp, Opcode::Tex, Opcode::Txp,
+    Opcode::Txb, Opcode::Kil,
+]);
+
+fn w_filter(w: &mut Writer, f: FilterMode) {
+    match f {
+        FilterMode::Nearest => w.u8(0),
+        FilterMode::Bilinear => w.u8(1),
+        FilterMode::Trilinear => w.u8(2),
+        FilterMode::Anisotropic(n) => {
+            w.u8(3);
+            w.u8(n);
+        }
+    }
+}
+
+fn r_filter(r: &mut Reader) -> Result<FilterMode, CodecError> {
+    match r.u8()? {
+        0 => Ok(FilterMode::Nearest),
+        1 => Ok(FilterMode::Bilinear),
+        2 => Ok(FilterMode::Trilinear),
+        3 => Ok(FilterMode::Anisotropic(r.u8()?)),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn w_depth(w: &mut Writer, d: &DepthState) {
+    w.bool(d.test);
+    w.bool(d.write);
+    w_cmp(w, d.func);
+}
+
+fn r_depth(r: &mut Reader) -> Result<DepthState, CodecError> {
+    Ok(DepthState { test: r.bool()?, write: r.bool()?, func: r_cmp(r)? })
+}
+
+fn w_stencil(w: &mut Writer, s: &StencilState) {
+    w.bool(s.test);
+    w_cmp(w, s.func);
+    w.u8(s.reference);
+    w.u8(s.read_mask);
+    w_sop(w, s.fail);
+    w_sop(w, s.zfail);
+    w_sop(w, s.pass);
+}
+
+fn r_stencil(r: &mut Reader) -> Result<StencilState, CodecError> {
+    Ok(StencilState {
+        test: r.bool()?,
+        func: r_cmp(r)?,
+        reference: r.u8()?,
+        read_mask: r.u8()?,
+        fail: r_sop(r)?,
+        zfail: r_sop(r)?,
+        pass: r_sop(r)?,
+    })
+}
+
+fn w_program(w: &mut Writer, p: &Program) {
+    w.u8(match p.kind() {
+        ProgramKind::Vertex => 0,
+        ProgramKind::Fragment => 1,
+    });
+    w.str(p.name());
+    w.u32(p.instructions().len() as u32);
+    for i in p.instructions() {
+        w_op(w, i.op);
+        w_file(w, i.dst.file);
+        w.u8(i.dst.index);
+        for m in i.mask.0 {
+            w.bool(m);
+        }
+        for s in i.srcs {
+            w_file(w, s.reg.file);
+            w.u8(s.reg.index);
+            for c in s.swizzle.0 {
+                w.u8(c);
+            }
+            w.bool(s.negate);
+        }
+        w.u8(i.tex_unit);
+    }
+}
+
+fn r_program(r: &mut Reader) -> Result<Program, CodecError> {
+    let kind = match r.u8()? {
+        0 => ProgramKind::Vertex,
+        1 => ProgramKind::Fragment,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let name = r.str()?;
+    let n = r.u32()? as usize;
+    let mut instrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let op = r_op(r)?;
+        let dst = Reg { file: r_file(r)?, index: r.u8()? };
+        let mut mask = [false; 4];
+        for m in &mut mask {
+            *m = r.bool()?;
+        }
+        let mut srcs = [Src::constant(0); 3];
+        for s in &mut srcs {
+            let file = r_file(r)?;
+            let index = r.u8()?;
+            let mut swz = [0u8; 4];
+            for c in &mut swz {
+                *c = r.u8()?;
+            }
+            let negate = r.bool()?;
+            *s = Src { reg: Reg { file, index }, swizzle: Swizzle(swz), negate };
+        }
+        let tex_unit = r.u8()?;
+        instrs.push(Instr { op, dst, mask: WriteMask(mask), srcs, tex_unit });
+    }
+    Program::new(kind, name, instrs).map_err(|_| CodecError::BadProgram)
+}
+
+fn w_image(w: &mut Writer, img: &Image) {
+    w.u32(img.width());
+    w.u32(img.height());
+    for t in img.texels() {
+        w.buf.extend_from_slice(t);
+    }
+}
+
+fn r_image(r: &mut Reader) -> Result<Image, CodecError> {
+    let width = r.u32()?;
+    let height = r.u32()?;
+    if width == 0 || height == 0 || (width as u64 * height as u64) > (1 << 26) {
+        return Err(CodecError::Truncated);
+    }
+    let bytes = r.take(width as usize * height as usize * 4)?;
+    let mut i = 0usize;
+    Ok(Image::from_fn(width, height, |_, _| {
+        let t = [bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]];
+        i += 4;
+        t
+    }))
+}
+
+fn w_command(w: &mut Writer, c: &Command) {
+    match c {
+        Command::CreateVertexBuffer { id, layout, data } => {
+            w.u8(0);
+            w.u32(*id);
+            w.u8(layout.attributes);
+            w.u16(layout.stride_bytes);
+            w.u32(data.len() as u32);
+            for v in data {
+                w.vec4(*v);
+            }
+        }
+        Command::CreateIndexBuffer { id, indices } => {
+            w.u8(1);
+            w.u32(*id);
+            match indices {
+                Indices::U16(v) => {
+                    w.u8(0);
+                    w.u32(v.len() as u32);
+                    for &i in v {
+                        w.u16(i);
+                    }
+                }
+                Indices::U32(v) => {
+                    w.u8(1);
+                    w.u32(v.len() as u32);
+                    for &i in v {
+                        w.u32(i);
+                    }
+                }
+            }
+        }
+        Command::CreateTexture { id, image, format, mipmaps, sampler } => {
+            w.u8(2);
+            w.u32(*id);
+            w_image(w, image);
+            w_fmt(w, *format);
+            w.bool(*mipmaps);
+            w_wrap(w, sampler.wrap);
+            w_filter(w, sampler.filter);
+            w.f32(sampler.lod_bias);
+        }
+        Command::CreateProgram { id, program } => {
+            w.u8(3);
+            w.u32(*id);
+            w_program(w, program);
+        }
+        Command::State(s) => {
+            w.u8(4);
+            w_state(w, s);
+        }
+        Command::Clear { mask, color, depth, stencil } => {
+            w.u8(5);
+            w.bool(mask.color);
+            w.bool(mask.depth);
+            w.bool(mask.stencil);
+            w.vec4(*color);
+            w.f32(*depth);
+            w.u8(*stencil);
+        }
+        Command::Draw { vertex_buffer, index_buffer, primitive, first, count } => {
+            w.u8(6);
+            w.u32(*vertex_buffer);
+            w.u32(*index_buffer);
+            w_prim(w, *primitive);
+            w.u32(*first);
+            w.u32(*count);
+        }
+        Command::EndFrame => w.u8(7),
+    }
+}
+
+fn w_state(w: &mut Writer, s: &StateCommand) {
+    match s {
+        StateCommand::Depth(d) => {
+            w.u8(0);
+            w_depth(w, d);
+        }
+        StateCommand::StencilFront(st) => {
+            w.u8(1);
+            w_stencil(w, st);
+        }
+        StateCommand::StencilBack(st) => {
+            w.u8(2);
+            w_stencil(w, st);
+        }
+        StateCommand::Cull(c) => {
+            w.u8(3);
+            w_cull(w, *c);
+        }
+        StateCommand::FrontFaceWinding(f) => {
+            w.u8(4);
+            w_ff(w, *f);
+        }
+        StateCommand::Blend(b) => {
+            w.u8(5);
+            w.bool(b.enabled);
+            w_bf(w, b.src);
+            w_bf(w, b.dst);
+        }
+        StateCommand::ColorMask(m) => {
+            w.u8(6);
+            w.bool(*m);
+        }
+        StateCommand::AlphaTest { enabled, reference } => {
+            w.u8(7);
+            w.bool(*enabled);
+            w.f32(*reference);
+        }
+        StateCommand::BindTexture { unit, texture } => {
+            w.u8(8);
+            w.u8(*unit);
+            w.u32(*texture);
+        }
+        StateCommand::BindPrograms { vertex, fragment } => {
+            w.u8(9);
+            w.u32(*vertex);
+            w.u32(*fragment);
+        }
+        StateCommand::VertexConstants { base, values } => {
+            w.u8(10);
+            w.u8(*base);
+            w.u32(values.len() as u32);
+            for v in values {
+                w.vec4(*v);
+            }
+        }
+        StateCommand::FragmentConstants { base, values } => {
+            w.u8(11);
+            w.u8(*base);
+            w.u32(values.len() as u32);
+            for v in values {
+                w.vec4(*v);
+            }
+        }
+    }
+}
+
+fn r_state(r: &mut Reader) -> Result<StateCommand, CodecError> {
+    Ok(match r.u8()? {
+        0 => StateCommand::Depth(r_depth(r)?),
+        1 => StateCommand::StencilFront(r_stencil(r)?),
+        2 => StateCommand::StencilBack(r_stencil(r)?),
+        3 => StateCommand::Cull(r_cull(r)?),
+        4 => StateCommand::FrontFaceWinding(r_ff(r)?),
+        5 => StateCommand::Blend(BlendState { enabled: r.bool()?, src: r_bf(r)?, dst: r_bf(r)? }),
+        6 => StateCommand::ColorMask(r.bool()?),
+        7 => StateCommand::AlphaTest { enabled: r.bool()?, reference: r.f32()? },
+        8 => StateCommand::BindTexture { unit: r.u8()?, texture: r.u32()? },
+        9 => StateCommand::BindPrograms { vertex: r.u32()?, fragment: r.u32()? },
+        10 => {
+            let base = r.u8()?;
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                values.push(r.vec4()?);
+            }
+            StateCommand::VertexConstants { base, values }
+        }
+        11 => {
+            let base = r.u8()?;
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                values.push(r.vec4()?);
+            }
+            StateCommand::FragmentConstants { base, values }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+fn r_command(r: &mut Reader) -> Result<Command, CodecError> {
+    Ok(match r.u8()? {
+        0 => {
+            let id = r.u32()?;
+            let attributes = r.u8()?;
+            let stride_bytes = r.u16()?;
+            let n = r.u32()? as usize;
+            let mut data = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                data.push(r.vec4()?);
+            }
+            Command::CreateVertexBuffer {
+                id,
+                layout: VertexLayout { attributes, stride_bytes },
+                data,
+            }
+        }
+        1 => {
+            let id = r.u32()?;
+            let wide = r.u8()?;
+            let n = r.u32()? as usize;
+            let indices = match wide {
+                0 => {
+                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    for _ in 0..n {
+                        v.push(r.u16()?);
+                    }
+                    Indices::U16(v)
+                }
+                1 => {
+                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    for _ in 0..n {
+                        v.push(r.u32()?);
+                    }
+                    Indices::U32(v)
+                }
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Command::CreateIndexBuffer { id, indices }
+        }
+        2 => {
+            let id = r.u32()?;
+            let image = r_image(r)?;
+            let format = r_fmt(r)?;
+            let mipmaps = r.bool()?;
+            let sampler = SamplerState { wrap: r_wrap(r)?, filter: r_filter(r)?, lod_bias: r.f32()? };
+            Command::CreateTexture { id, image, format, mipmaps, sampler }
+        }
+        3 => Command::CreateProgram { id: r.u32()?, program: r_program(r)? },
+        4 => Command::State(r_state(r)?),
+        5 => Command::Clear {
+            mask: ClearMask { color: r.bool()?, depth: r.bool()?, stencil: r.bool()? },
+            color: r.vec4()?,
+            depth: r.f32()?,
+            stencil: r.u8()?,
+        },
+        6 => Command::Draw {
+            vertex_buffer: r.u32()?,
+            index_buffer: r.u32()?,
+            primitive: r_prim(r)?,
+            first: r.u32()?,
+            count: r.u32()?,
+        },
+        7 => Command::EndFrame,
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+impl Trace {
+    /// Serializes the trace to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&MAGIC);
+        w.u16(VERSION);
+        w.u32(self.len() as u32);
+        for c in self.commands() {
+            w_command(&mut w, c);
+        }
+        w.buf
+    }
+
+    /// Decodes a trace previously produced by [`Trace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on wrong magic/version, truncation, or
+    /// malformed records.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, CodecError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let n = r.u32()? as usize;
+        let mut trace = Trace::new();
+        for _ in 0..n {
+            trace.push(r_command(&mut r)?);
+        }
+        if !r.done() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(Command::CreateVertexBuffer {
+            id: 3,
+            layout: VertexLayout::DOOM3,
+            data: vec![Vec4::new(1.0, 2.0, 3.0, 1.0); 12],
+        });
+        t.push(Command::CreateIndexBuffer { id: 3, indices: Indices::U32(vec![0, 1, 1]) });
+        t.push(Command::CreateTexture {
+            id: 7,
+            image: Image::checkerboard(8, 8, 2, [1, 2, 3, 4], [5, 6, 7, 8]),
+            format: TexFormat::Dxt5,
+            mipmaps: true,
+            sampler: SamplerState {
+                wrap: WrapMode::Mirror,
+                filter: FilterMode::Anisotropic(8),
+                lod_bias: -0.5,
+            },
+        });
+        t.push(Command::CreateProgram {
+            id: 1,
+            program: gwc_shader::Program::new(
+                ProgramKind::Fragment,
+                "fp",
+                vec![
+                    Instr::tex(Reg::temp(0), Src::input(0).swiz(Swizzle::XXXX).neg(), 3),
+                    Instr::kil(Src::temp(0)),
+                    Instr::mov(Reg::out(0), Src::temp(0)).masked(WriteMask::XYZ),
+                ],
+            )
+            .unwrap(),
+        });
+        t.push(Command::State(StateCommand::StencilFront(StencilState {
+            test: true,
+            func: CompareFunc::GreaterEqual,
+            reference: 42,
+            read_mask: 0x0f,
+            fail: StencilOp::Invert,
+            zfail: StencilOp::DecrWrap,
+            pass: StencilOp::Replace,
+        })));
+        t.push(Command::State(StateCommand::VertexConstants {
+            base: 4,
+            values: vec![Vec4::splat(9.5)],
+        }));
+        t.push(Command::Clear {
+            mask: ClearMask::DEPTH_STENCIL,
+            color: Vec4::new(0.1, 0.2, 0.3, 0.4),
+            depth: 0.5,
+            stencil: 3,
+        });
+        t.push(Command::Draw {
+            vertex_buffer: 3,
+            index_buffer: 3,
+            primitive: PrimitiveType::TriangleFan,
+            first: 0,
+            count: 3,
+        });
+        t.push(Command::EndFrame);
+        t
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let decoded = Trace::from_bytes(&bytes).expect("decodes");
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn header_checks() {
+        assert_eq!(Trace::from_bytes(b"nope").unwrap_err(), CodecError::BadMagic);
+        let mut bytes = sample_trace().to_bytes();
+        bytes[4] = 0xff; // corrupt version
+        assert!(matches!(Trace::from_bytes(&bytes).unwrap_err(), CodecError::BadVersion(_)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_trace().to_bytes();
+        for cut in [10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Trace::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes.push(0);
+        assert_eq!(Trace::from_bytes(&bytes).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        assert_eq!(Trace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn all_state_commands_roundtrip() {
+        let mut t = Trace::new();
+        for s in [
+            StateCommand::Depth(DepthState { test: false, write: true, func: CompareFunc::Never }),
+            StateCommand::StencilBack(StencilState::default()),
+            StateCommand::Cull(CullMode::Front),
+            StateCommand::FrontFaceWinding(FrontFace::Cw),
+            StateCommand::Blend(BlendState {
+                enabled: true,
+                src: BlendFactor::DstColor,
+                dst: BlendFactor::SrcColor,
+            }),
+            StateCommand::ColorMask(false),
+            StateCommand::AlphaTest { enabled: true, reference: 0.25 },
+            StateCommand::BindTexture { unit: 9, texture: 1234 },
+            StateCommand::BindPrograms { vertex: 1, fragment: 2 },
+            StateCommand::FragmentConstants { base: 90, values: vec![Vec4::ONE; 3] },
+        ] {
+            t.push(Command::State(s));
+        }
+        assert_eq!(Trace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+}

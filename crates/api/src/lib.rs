@@ -1,0 +1,58 @@
+//! A GL-flavoured graphics API layer with trace record/replay.
+//!
+//! The paper's methodology (Section II.B) is built on *API interception*:
+//! GLInterceptor records every OpenGL call a game makes into a trace, a
+//! player replays the trace bit-exactly, and statistics are computed from
+//! the replayed stream — either at the API level directly or by feeding the
+//! stream to the ATTILA simulator.
+//!
+//! This crate is that layer for the simulator workspace:
+//!
+//! - [`Command`] — the traced API vocabulary: resource creation, state
+//!   changes, draw calls, frame boundaries.
+//! - [`Device`] — the recording front-end games (here: synthetic workloads)
+//!   call into; it validates commands, forwards them to an attached
+//!   [`CommandSink`] and appends them to a [`Trace`].
+//! - [`Trace`] — a replayable command stream (the GLInterceptor file).
+//! - [`ApiStats`] — a sink that computes every API-level metric in the
+//!   paper: batches and indices per frame (Table III, Figures 1–2), state
+//!   calls per frame (Figure 3), primitive mix (Table V), and shader
+//!   instruction statistics (Tables IV and XII, Figure 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod command;
+mod device;
+mod stats;
+mod trace;
+
+pub use codec::CodecError;
+pub use command::{ClearMask, Command, GraphicsApi, Indices, StateCommand, VertexLayout};
+pub use device::{Device, DeviceError};
+pub use stats::{ApiStats, FrameApiStats};
+pub use trace::Trace;
+
+/// Anything that can consume a replayed command stream: the statistics
+/// collector, the GPU simulator, or both chained.
+pub trait CommandSink {
+    /// Consumes one command.
+    fn consume(&mut self, command: &Command);
+}
+
+/// Replays commands into two sinks at once (e.g. stats + simulator).
+#[derive(Debug)]
+pub struct Tee<'a, A, B> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: CommandSink, B: CommandSink> CommandSink for Tee<'_, A, B> {
+    fn consume(&mut self, command: &Command) {
+        self.a.consume(command);
+        self.b.consume(command);
+    }
+}

@@ -1,0 +1,43 @@
+//! Design-choice ablations as performance measurements: the simulator
+//! cost of the features the paper's discussion calls out (Hierarchical Z,
+//! framebuffer compression, early z).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/doom3_frame_256x192");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(gwc_bench::simulate("Doom3/trdemo2", 1, 256, 192).stats().totals().frags_zst))
+    });
+    group.bench_function("no_hierarchical_z", |b| {
+        b.iter(|| {
+            let gpu = gwc_bench::simulate_with("Doom3/trdemo2", 1, 256, 192, |c| {
+                c.hierarchical_z = false;
+            });
+            black_box(gpu.stats().totals().frags_zst)
+        })
+    });
+    group.bench_function("no_early_z", |b| {
+        b.iter(|| {
+            let gpu = gwc_bench::simulate_with("Doom3/trdemo2", 1, 256, 192, |c| {
+                c.early_z = false;
+            });
+            black_box(gpu.stats().totals().frags_shaded)
+        })
+    });
+    group.bench_function("no_compression", |b| {
+        b.iter(|| {
+            let gpu = gwc_bench::simulate_with("Doom3/trdemo2", 1, 256, 192, |c| {
+                c.z_compression = false;
+                c.color_compression = false;
+            });
+            black_box(gpu.memory().total().total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

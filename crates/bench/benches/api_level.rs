@@ -1,0 +1,25 @@
+//! API-level characterization cost (Tables I, III, IV, V, XII and the
+//! Figure 1–3 / 8 series): generating and consuming a timedemo command
+//! stream through the statistics collector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_api::ApiStats;
+use std::hint::black_box;
+
+fn bench_api_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_level");
+    group.sample_size(10);
+    for name in ["UT2004/Primeval", "Doom3/trdemo2", "Oblivion/Anvil Castle"] {
+        group.bench_function(name.replace('/', "_"), |b| {
+            b.iter(|| {
+                let mut stats = ApiStats::new();
+                gwc_bench::emit_demo(name, 3, &mut stats);
+                black_box(stats.totals().batches)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_api_level);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Cache model throughput (Table XIV): the access patterns the pipeline
+//! actually generates — tiled framebuffer walks, texture streaming, and
+//! random conflict traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_mem::{tiled_offset, AccessKind, Cache, CacheConfig};
+use std::hint::black_box;
+
+fn bench_framebuffer_walk(c: &mut Criterion) {
+    // A quad-ordered walk over a 1024x768 tiled depth surface: the z-cache
+    // pattern of one fullscreen triangle.
+    c.bench_function("caches/z_cache_fullscreen_walk", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::Z_STENCIL);
+            for y in (0..768u32).step_by(2) {
+                for x in (0..1024u32).step_by(2) {
+                    cache.access(tiled_offset(x, y, 1024, 4), AccessKind::Write);
+                }
+            }
+            black_box(cache.stats().hit_rate())
+        })
+    });
+}
+
+fn bench_random_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caches/random_100k");
+    for (label, config) in [
+        ("tex_l0_64wx64B", CacheConfig::TEXTURE_L0),
+        ("tex_l1_16wx16sx64B", CacheConfig::TEXTURE_L1),
+        ("color_64wx256B", CacheConfig::COLOR),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(config);
+                let mut x = 0x12345678u64;
+                for _ in 0..100_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    cache.access((x >> 20) & 0xf_ffff, AccessKind::Read);
+                }
+                black_box(cache.stats().hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_framebuffer_walk, bench_random_traffic);
+criterion_main!(benches);

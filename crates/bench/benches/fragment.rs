@@ -1,0 +1,51 @@
+//! Fragment pipeline cost (Tables VIII–XI, Figure 7): tiled rasterization
+//! at several triangle sizes, and the full simulated frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_math::Vec4;
+use gwc_raster::{rasterize, RasterStats, ShadedVertex, TriangleSetup, Viewport};
+use std::hint::black_box;
+
+fn tri(scale: f32) -> [ShadedVertex; 3] {
+    [
+        ShadedVertex::at(Vec4::new(-scale, -scale, 0.0, 1.0)),
+        ShadedVertex::at(Vec4::new(scale, -scale, 0.0, 1.0)),
+        ShadedVertex::at(Vec4::new(0.0, scale, 0.0, 1.0)),
+    ]
+}
+
+fn bench_rasterizer(c: &mut Criterion) {
+    let vp = Viewport::new(1024, 768);
+    let mut group = c.benchmark_group("fragment/rasterize");
+    // Triangle sizes spanning the paper's 400–2000 fragment range
+    // (Table VIII).
+    for (label, scale) in [("small_100px", 0.02f32), ("medium_2k px", 0.08), ("large_50k px", 0.4)] {
+        let setup = TriangleSetup::new(&tri(scale), &vp).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut stats = RasterStats::default();
+                let mut frags = 0u64;
+                rasterize(&setup, &vp, &mut stats, &mut |q| frags += q.covered_count() as u64);
+                black_box((stats.quads, frags))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment/full_frame_320x240");
+    group.sample_size(10);
+    for name in ["UT2004/Primeval", "Doom3/trdemo2"] {
+        group.bench_function(name.replace('/', "_"), |b| {
+            b.iter(|| {
+                let gpu = gwc_bench::simulate(name, 1, 320, 240);
+                black_box(gpu.stats().totals().frags_raster)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rasterizer, bench_full_frame);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Geometry pipeline cost (Table VII, Figures 5–6): post-transform vertex
+//! caching, clipping, and face culling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_math::Vec4;
+use gwc_pipeline::VertexCache;
+use gwc_raster::{clip_near, ShadedVertex};
+use std::hint::black_box;
+
+fn bench_vertex_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry/vertex_cache");
+    // Strip-ordered triangle list: the access pattern behind Figure 5's
+    // ~66% hit rate.
+    for entries in [8usize, 16, 32] {
+        group.bench_function(format!("strip_order_{entries}_entries"), |b| {
+            b.iter(|| {
+                let mut cache = VertexCache::new(entries);
+                let v = ShadedVertex::at(Vec4::new(0.0, 0.0, 0.0, 1.0));
+                for t in 0..10_000u32 {
+                    for i in [t, t + 1, t + 2] {
+                        if cache.lookup(i).is_none() {
+                            cache.insert(i, v);
+                        }
+                    }
+                }
+                black_box(cache.hit_rate())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clipper(c: &mut Criterion) {
+    // A mix of inside / outside / near-crossing triangles like a frame's
+    // triangle stream (Table VII's clip stage).
+    let mut tris = Vec::new();
+    for i in 0..1000 {
+        let f = i as f32 * 0.37;
+        let z = (i % 5) as f32 - 2.0; // some cross the near plane
+        tris.push([
+            ShadedVertex::at(Vec4::new(f.sin() * 3.0, f.cos() * 2.0, z, 1.0)),
+            ShadedVertex::at(Vec4::new(f.sin() * 3.0 + 0.5, f.cos() * 2.0, z + 0.5, 1.0)),
+            ShadedVertex::at(Vec4::new(f.sin() * 3.0, f.cos() * 2.0 + 0.5, z + 1.0, 1.0)),
+        ]);
+    }
+    c.bench_function("geometry/clip_1000_triangles", |b| {
+        b.iter(|| {
+            let mut kept = 0u32;
+            for t in &tris {
+                if !matches!(clip_near(black_box(t)), gwc_raster::ClipResult::Rejected) {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+}
+
+criterion_group!(benches, bench_vertex_cache, bench_clipper);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Memory subsystem cost (Tables XV–XVII): block compression
+//! classification and per-client traffic accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_mem::compress::{classify_color_block, classify_z_block};
+use gwc_mem::{MemClient, MemoryController};
+use std::hint::black_box;
+
+fn bench_z_classify(c: &mut Criterion) {
+    // Planar (compressible) and noisy (incompressible) blocks.
+    let planar: Vec<f32> = (0..64).map(|i| 0.4 + (i % 8) as f32 * 1e-4).collect();
+    let noisy: Vec<f32> =
+        (0..64).map(|i| ((i * 2654435761usize) % 997) as f32 / 997.0).collect();
+    c.bench_function("memory/classify_z_planar", |b| {
+        b.iter(|| black_box(classify_z_block(black_box(&planar))))
+    });
+    c.bench_function("memory/classify_z_noisy", |b| {
+        b.iter(|| black_box(classify_z_block(black_box(&noisy))))
+    });
+}
+
+fn bench_color_classify(c: &mut Criterion) {
+    let uniform = [0xff112233u32; 64];
+    c.bench_function("memory/classify_color_uniform", |b| {
+        b.iter(|| black_box(classify_color_block(black_box(&uniform))))
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("memory/controller_100k_transactions", |b| {
+        b.iter(|| {
+            let mut mc = MemoryController::new();
+            for i in 0..100_000u64 {
+                let client = MemClient::ALL[(i % 6) as usize];
+                if i % 3 == 0 {
+                    mc.write(client, 256);
+                } else {
+                    mc.read(client, 64);
+                }
+            }
+            let f = mc.end_frame();
+            black_box(f.total())
+        })
+    });
+}
+
+criterion_group!(benches, bench_z_classify, bench_color_classify, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Texture filtering cost (Table XIII): bilinear throughput per filter
+//! mode and anisotropy ratio, plus DXT block codec speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gwc_math::Vec4;
+use gwc_mem::AddressSpace;
+use gwc_texture::{dxt, FilterMode, Image, NoopTracker, SampleStats, SamplerState, TexFormat,
+                  Texture, WrapMode};
+use std::hint::black_box;
+
+fn quad(u: f32, v: f32, ratio: f32, texels: f32) -> [Vec4; 4] {
+    let du = ratio * 2.0 / texels;
+    let dv = 2.0 / texels;
+    [
+        Vec4::new(u, v, 0.0, 1.0),
+        Vec4::new(u + du, v, 0.0, 1.0),
+        Vec4::new(u, v + dv, 0.0, 1.0),
+        Vec4::new(u + du, v + dv, 0.0, 1.0),
+    ]
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut vram = AddressSpace::new();
+    let tex = Texture::from_image(&Image::noise(256, 256, 3), TexFormat::Dxt1, true, &mut vram);
+    let mut group = c.benchmark_group("texturing/filter_1k_quads");
+    for (label, filter, ratio) in [
+        ("bilinear", FilterMode::Bilinear, 1.0f32),
+        ("trilinear", FilterMode::Trilinear, 1.0),
+        ("aniso16_ratio8", FilterMode::Anisotropic(16), 8.0),
+        ("aniso16_ratio16", FilterMode::Anisotropic(16), 16.0),
+    ] {
+        let sampler = SamplerState { wrap: WrapMode::Repeat, filter, lod_bias: 0.0 };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut stats = SampleStats::default();
+                for i in 0..1000 {
+                    let u = (i as f32 * 0.37).fract();
+                    sampler.sample_quad(
+                        &tex,
+                        &quad(u, u * 0.7, ratio, 256.0),
+                        false,
+                        0.0,
+                        [true; 4],
+                        &mut NoopTracker,
+                        &mut stats,
+                    );
+                }
+                black_box(stats.bilinear_samples)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dxt(c: &mut Criterion) {
+    let texels: Vec<[u8; 4]> = (0..16).map(|i| [i as u8 * 16, 255 - i as u8 * 16, 7, 255]).collect();
+    c.bench_function("texturing/dxt1_encode_block", |b| {
+        b.iter(|| black_box(dxt::encode_block(black_box(&texels), TexFormat::Dxt1)))
+    });
+    let encoded = dxt::encode_block(&texels, TexFormat::Dxt5);
+    c.bench_function("texturing/dxt5_decode_block", |b| {
+        b.iter(|| black_box(dxt::decode_block(black_box(&encoded), TexFormat::Dxt5)))
+    });
+}
+
+criterion_group!(benches, bench_filters, bench_dxt);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gwc_api::CommandSink;
+use gwc_pipeline::{Gpu, GpuConfig};
+use gwc_workloads::{GameProfile, Timedemo, TimedemoConfig};
+
+/// Simulates `frames` frames of a named timedemo at the given resolution
+/// with an optionally customized GPU configuration.
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table I timedemo.
+pub fn simulate_with(
+    name: &str,
+    frames: u32,
+    width: u32,
+    height: u32,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> Gpu {
+    let profile = GameProfile::by_name(name).unwrap_or_else(|| panic!("unknown demo {name}"));
+    let mut demo = Timedemo::new(profile, TimedemoConfig { frames, seed: 0x5EED });
+    let mut config = GpuConfig::r520(width, height);
+    tweak(&mut config);
+    let mut gpu = Gpu::new(config);
+    demo.emit_all(&mut gpu);
+    gpu
+}
+
+/// Simulates with the default R520 configuration.
+pub fn simulate(name: &str, frames: u32, width: u32, height: u32) -> Gpu {
+    simulate_with(name, frames, width, height, |_| {})
+}
+
+/// Emits a timedemo into an arbitrary sink (API-level runs).
+pub fn emit_demo<S: CommandSink>(name: &str, frames: u32, sink: &mut S) {
+    let profile = GameProfile::by_name(name).unwrap_or_else(|| panic!("unknown demo {name}"));
+    let mut demo = Timedemo::new(profile, TimedemoConfig { frames, seed: 0x5EED });
+    demo.emit_all(sink);
+}

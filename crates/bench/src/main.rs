@@ -1,0 +1,310 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p gwc-bench --release --bin repro -- all
+//! cargo run -p gwc-bench --release --bin repro -- table9 fig5 --quick
+//! cargo run -p gwc-bench --release --bin repro -- all --paper   # 1024x768, slow
+//! cargo run -p gwc-bench --release --bin repro -- ablations
+//! ```
+
+use gwc_core::{figures, run_study, tables, RunConfig, Study};
+use gwc_stats::Table;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [EXPERIMENT...] [OPTIONS]
+
+experiments:
+  all                  every table and figure (default)
+  table1 .. table17    one table
+  fig1 .. fig8         one figure family (fig4 is a diagram in the paper)
+  ablations            design-choice studies (HZ, compression, vertex
+                       cache size, filtering level)
+
+options:
+  --paper              full setting: 2000 API frames, 8 simulated frames
+                       at 1024x768 (minutes of runtime)
+  --quick              small setting for smoke tests
+  --api-frames N       API-level frames (default 300)
+  --sim-frames N       simulated frames (default 4)
+  --res WxH            simulated resolution (default 640x480)
+  --csv                emit CSV instead of aligned tables/charts"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    experiments: Vec<String>,
+    config: RunConfig,
+    csv: bool,
+}
+
+fn parse_args() -> Options {
+    let mut experiments = Vec::new();
+    let mut config =
+        RunConfig { api_frames: 300, sim_frames: 4, width: 640, height: 480, seed: 0x5EED };
+    let mut csv = false;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--paper" => config = RunConfig::paper(),
+            "--quick" => config = RunConfig::quick(),
+            "--csv" => csv = true,
+            "--api-frames" => {
+                config.api_frames =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--sim-frames" => {
+                config.sim_frames =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--res" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let Some((w, h)) = v.split_once('x') else { usage() };
+                config.width = w.parse().unwrap_or_else(|_| usage());
+                config.height = h.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            e if e.starts_with('-') => usage(),
+            e => experiments.push(e.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Options { experiments, config, csv }
+}
+
+fn print_table(t: &Table, csv: bool) {
+    if csv {
+        println!("# {}", t.title());
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.to_ascii());
+    }
+}
+
+fn print_figures(figs: &[figures::Figure], csv: bool) {
+    for f in figs {
+        if csv {
+            println!("# {}", f.title);
+            print!("{}", f.to_csv());
+        } else {
+            println!("{}", f.chart);
+        }
+    }
+}
+
+fn run_experiment(study: &Study, name: &str, csv: bool) -> bool {
+    let table_fns: [fn(&Study) -> Table; 17] = [
+        tables::table1,
+        tables::table2,
+        tables::table3,
+        tables::table4,
+        tables::table5,
+        tables::table6,
+        tables::table7,
+        tables::table8,
+        tables::table9,
+        tables::table10,
+        tables::table11,
+        tables::table12,
+        tables::table13,
+        tables::table14,
+        tables::table15,
+        tables::table16,
+        tables::table17,
+    ];
+    if let Some(n) = name.strip_prefix("table") {
+        if let Ok(i) = n.parse::<usize>() {
+            if (1..=17).contains(&i) {
+                print_table(&table_fns[i - 1](study), csv);
+                return true;
+            }
+        }
+        return false;
+    }
+    match name {
+        "all" => {
+            for f in table_fns {
+                print_table(&f(study), csv);
+            }
+            print_figures(&figures::all_figures(study), csv);
+            true
+        }
+        "fig1" => {
+            print_figures(&figures::fig1(study), csv);
+            true
+        }
+        "fig2" => {
+            print_figures(&figures::fig2(study), csv);
+            true
+        }
+        "fig3" => {
+            print_figures(&figures::fig3(study), csv);
+            true
+        }
+        "fig4" => {
+            println!("(Figure 4 is an illustration of triangle primitives; nothing to measure)");
+            true
+        }
+        "fig5" => {
+            print_figures(&figures::fig5(study), csv);
+            true
+        }
+        "fig6" => {
+            print_figures(&figures::fig6(study), csv);
+            true
+        }
+        "fig7" => {
+            print_figures(&figures::fig7(study), csv);
+            true
+        }
+        "fig8" => {
+            print_figures(&figures::fig8(study), csv);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Design-choice ablations the paper's discussion motivates.
+fn run_ablations(config: &RunConfig) {
+    let (w, h, frames) = (config.width, config.height, config.sim_frames.max(2));
+    println!("== Ablations (Doom3/trdemo2, {frames} frames at {w}x{h}) ==\n");
+
+    // 1. Hierarchical Z on/off: fragments reaching the z&stencil stage.
+    let stats = |gpu: &gwc_pipeline::Gpu| {
+        let t = *gpu.stats().totals();
+        let mem = gpu.memory().total();
+        (t, mem)
+    };
+    let (base_t, base_m) = stats(&gwc_bench::simulate("Doom3/trdemo2", frames, w, h));
+    let (nohz_t, nohz_m) =
+        stats(&gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| c.hierarchical_z = false));
+    let mut t = Table::new("HZ ablation", &["configuration", "frags @ z&stencil", "z&stencil MB", "total MB"]);
+    t.numeric();
+    let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+    t.row(vec![
+        "HZ enabled".into(),
+        base_t.frags_zst.to_string(),
+        mb(base_m.client(gwc_mem::MemClient::ZStencil).total()),
+        mb(base_m.total()),
+    ]);
+    t.row(vec![
+        "HZ disabled".into(),
+        nohz_t.frags_zst.to_string(),
+        mb(nohz_m.client(gwc_mem::MemClient::ZStencil).total()),
+        mb(nohz_m.total()),
+    ]);
+    println!("{}", t.to_ascii());
+
+    // 2. Z/color compression on/off.
+    let (nocomp_t, nocomp_m) = stats(&gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| {
+        c.z_compression = false;
+        c.color_compression = false;
+    }));
+    let _ = nocomp_t;
+    let mut t = Table::new("Framebuffer compression ablation", &["configuration", "z&stencil MB", "color MB", "total MB"]);
+    t.numeric();
+    t.row(vec![
+        "fast clear + compression".into(),
+        mb(base_m.client(gwc_mem::MemClient::ZStencil).total()),
+        mb(base_m.client(gwc_mem::MemClient::Color).total()),
+        mb(base_m.total()),
+    ]);
+    t.row(vec![
+        "uncompressed".into(),
+        mb(nocomp_m.client(gwc_mem::MemClient::ZStencil).total()),
+        mb(nocomp_m.client(gwc_mem::MemClient::Color).total()),
+        mb(nocomp_m.total()),
+    ]);
+    println!("{}", t.to_ascii());
+
+    // 3. Post-transform vertex cache size sweep (Section III.B / Fig 5).
+    let mut t = Table::new("Vertex cache size sweep", &["entries", "hit rate", "vertices shaded"]);
+    t.numeric();
+    for entries in [4usize, 8, 16, 32, 64] {
+        let gpu = gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| {
+            c.vertex_cache_entries = entries;
+        });
+        let s = gpu.stats().totals();
+        t.row(vec![
+            entries.to_string(),
+            format!("{:.1}%", 100.0 * s.vertex_cache_hit_rate()),
+            s.shaded_vertices.to_string(),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+
+    // 4. Filtering level sweep: dynamic cost per texture request
+    // (Table XIII's key trade-off), measured on a glancing footprint mix.
+    use gwc_math::{Vec2, Vec4};
+    use gwc_texture::{FilterMode, Image, NoopTracker, SampleStats, SamplerState, TexFormat,
+                      Texture, WrapMode};
+    let mut vram = gwc_mem::AddressSpace::new();
+    let texture = Texture::from_image(&Image::noise(512, 512, 7), TexFormat::Dxt1, true, &mut vram);
+    let mut t = Table::new(
+        "Texture filtering sweep (glancing + oblique footprints)",
+        &["filter", "bilinears/request"],
+    );
+    t.numeric();
+    let filters = [
+        ("bilinear", FilterMode::Bilinear),
+        ("trilinear", FilterMode::Trilinear),
+        ("aniso 2x", FilterMode::Anisotropic(2)),
+        ("aniso 4x", FilterMode::Anisotropic(4)),
+        ("aniso 8x", FilterMode::Anisotropic(8)),
+        ("aniso 16x", FilterMode::Anisotropic(16)),
+    ];
+    for (name, filter) in filters {
+        let sampler = SamplerState { wrap: WrapMode::Repeat, filter, lod_bias: 0.0 };
+        let mut stats = SampleStats::default();
+        for i in 0..256 {
+            // A mix of isotropic and up-to-24:1 anisotropic footprints.
+            let ratio = 1.0 + (i % 16) as f32 * 1.5;
+            let base = Vec2::new(0.003 * i as f32, 0.002 * i as f32);
+            let du = ratio * 2.0 / 512.0;
+            let dv = 2.0 / 512.0;
+            let coords = [
+                Vec4::new(base.x, base.y, 0.0, 1.0),
+                Vec4::new(base.x + du, base.y, 0.0, 1.0),
+                Vec4::new(base.x, base.y + dv, 0.0, 1.0),
+                Vec4::new(base.x + du, base.y + dv, 0.0, 1.0),
+            ];
+            sampler.sample_quad(&texture, &coords, false, 0.0, [true; 4], &mut NoopTracker, &mut stats);
+        }
+        t.row(vec![name.into(), format!("{:.2}", stats.bilinears_per_request())]);
+    }
+    println!("{}", t.to_ascii());
+}
+
+fn main() {
+    let options = parse_args();
+    let only_ablations =
+        options.experiments.iter().all(|e| e == "ablations");
+    let needs_study = !only_ablations;
+    let study = if needs_study {
+        eprintln!(
+            "running study: {} API frames, {} simulated frames at {}x{}...",
+            options.config.api_frames,
+            options.config.sim_frames,
+            options.config.width,
+            options.config.height
+        );
+        Some(run_study(&options.config))
+    } else {
+        None
+    };
+    for experiment in &options.experiments {
+        if experiment == "ablations" {
+            run_ablations(&options.config);
+            continue;
+        }
+        let study = study.as_ref().expect("study built for table/figure experiments");
+        if !run_experiment(study, experiment, options.csv) {
+            eprintln!("unknown experiment {experiment:?}");
+            usage();
+        }
+    }
+}

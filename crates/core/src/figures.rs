@@ -1,0 +1,242 @@
+//! Renderers for the paper's per-frame figures.
+//!
+//! Each figure function returns the underlying [`TimeSeries`] set plus a
+//! rendered ASCII chart; callers can also export the series as CSV for
+//! external plotting.
+
+use gwc_stats::{ascii_chart, TimeSeries};
+
+use crate::Study;
+
+/// A rendered figure: its data series and a terminal chart.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title (matches the paper's caption).
+    pub title: String,
+    /// The per-frame data series.
+    pub series: Vec<TimeSeries>,
+    /// ASCII rendering.
+    pub chart: String,
+}
+
+impl Figure {
+    fn new(title: &str, series: Vec<TimeSeries>, log_scale: bool) -> Figure {
+        let refs: Vec<&TimeSeries> = series.iter().collect();
+        let chart = format!("-- {title} --\n{}", ascii_chart(&refs, 72, 14, log_scale));
+        Figure { title: title.to_string(), series, chart }
+    }
+
+    /// All series as one CSV block (one file per series would be
+    /// equivalent; this keeps the harness simple).
+    pub fn to_csv(&self) -> String {
+        self.series.iter().map(|s| s.to_csv()).collect::<Vec<_>>().join("\n")
+    }
+}
+
+fn relabel(mut series: TimeSeries, name: &str) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    out.extend(series.values().iter().copied());
+    series = out;
+    series
+}
+
+/// Figure 1: total batches per frame, split by API like the paper (one
+/// chart per API keeps the four-series plots readable).
+pub fn fig1(study: &Study) -> Vec<Figure> {
+    let pick = |names: &[&str]| -> Vec<TimeSeries> {
+        names
+            .iter()
+            .filter_map(|n| study.by_name(n))
+            .map(|g| relabel(g.api.batches_per_frame(), g.profile.name))
+            .collect()
+    };
+    let ogl = pick(&["UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4", "Riddick/PrisonArea"]);
+    let d3d = pick(&[
+        "Oblivion/Anvil Castle",
+        "Half Life 2 LC/built-in",
+        "FEAR/interval2",
+        "Splinter Cell 3/first level",
+    ]);
+    vec![
+        Figure::new("Figure 1 — Batches per frame (OGL games)", ogl, false),
+        Figure::new("Figure 1 — Batches per frame (D3D games)", d3d, false),
+    ]
+}
+
+/// Figure 2: index megabytes per frame.
+pub fn fig2(study: &Study) -> Vec<Figure> {
+    let pick = |names: &[&str]| -> Vec<TimeSeries> {
+        names
+            .iter()
+            .filter_map(|n| study.by_name(n))
+            .map(|g| relabel(g.api.index_mb_per_frame(), g.profile.name))
+            .collect()
+    };
+    let ogl = pick(&["UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4", "Riddick/PrisonArea"]);
+    let d3d = pick(&[
+        "Oblivion/Anvil Castle",
+        "Half Life 2 LC/built-in",
+        "FEAR/interval2",
+        "Splinter Cell 3/first level",
+    ]);
+    vec![
+        Figure::new("Figure 2 — Index BW per frame (OGL games)", ogl, false),
+        Figure::new("Figure 2 — Index BW per frame (D3D games)", d3d, false),
+    ]
+}
+
+/// Figure 3: average state calls per frame (log scale).
+pub fn fig3(study: &Study) -> Vec<Figure> {
+    let pick = |names: &[&str]| -> Vec<TimeSeries> {
+        names
+            .iter()
+            .filter_map(|n| study.by_name(n))
+            .map(|g| relabel(g.api.state_calls_per_frame(), g.profile.name))
+            .collect()
+    };
+    let ogl = pick(&["UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4", "Riddick/PrisonArea"]);
+    let d3d = pick(&[
+        "Oblivion/Anvil Castle",
+        "Half Life 2 LC/built-in",
+        "FEAR/interval2",
+        "Splinter Cell 3/first level",
+    ]);
+    vec![
+        Figure::new("Figure 3 — Average state calls (OGL games, log scale)", ogl, true),
+        Figure::new("Figure 3 — Average state calls (D3D games, log scale)", d3d, true),
+    ]
+}
+
+/// Figure 5: post-transform vertex cache hit rate per frame, one chart per
+/// simulated benchmark.
+pub fn fig5(study: &Study) -> Vec<Figure> {
+    study
+        .simulated()
+        .map(|g| {
+            let sim = g.sim.as_ref().unwrap();
+            let series = sim.stats.series("hit rate", |f| f.vertex_cache_hit_rate());
+            Figure::new(
+                &format!("Figure 5 — Post-transform vertex cache hit rate ({})", g.profile.name),
+                vec![series],
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Figure 6: indices, assembled triangles and traversed triangles per
+/// frame for the simulated benchmarks.
+pub fn fig6(study: &Study) -> Vec<Figure> {
+    study
+        .simulated()
+        .map(|g| {
+            let sim = g.sim.as_ref().unwrap();
+            let series = vec![
+                sim.stats.series("indices", |f| f.indices as f64),
+                sim.stats.series("assembled", |f| f.assembled as f64),
+                sim.stats.series("traversed", |f| f.traversed as f64),
+            ];
+            Figure::new(
+                &format!("Figure 6 — Indices, assembled and traversed ({})", g.profile.name),
+                series,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Figure 7: average triangle size per frame at the rasterization,
+/// z & stencil and shading stages.
+pub fn fig7(study: &Study) -> Vec<Figure> {
+    study
+        .simulated()
+        .map(|g| {
+            let sim = g.sim.as_ref().unwrap();
+            let series = vec![
+                sim.stats.series("raster", |f| f.triangle_sizes().0),
+                sim.stats.series("zst", |f| f.triangle_sizes().1),
+                sim.stats.series("shaded", |f| f.triangle_sizes().2),
+            ];
+            Figure::new(
+                &format!("Figure 7 — Average triangle size per frame ({})", g.profile.name),
+                series,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Figure 8: average fragment program instructions per frame for Quake4
+/// and FEAR, the paper's two examples.
+pub fn fig8(study: &Study) -> Vec<Figure> {
+    ["Quake4/demo4", "FEAR/interval2"]
+        .iter()
+        .filter_map(|name| study.by_name(name))
+        .map(|g| {
+            let series = vec![
+                relabel(g.api.fs_instructions_per_frame(), "Fragment instructions"),
+                relabel(g.api.fs_tex_per_frame(), "Texture instructions"),
+            ];
+            Figure::new(
+                &format!("Figure 8 — Average fragment program instructions ({})", g.profile.name),
+                series,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// All figures, in paper order.
+pub fn all_figures(study: &Study) -> Vec<Figure> {
+    let mut out = Vec::new();
+    out.extend(fig1(study));
+    out.extend(fig2(study));
+    out.extend(fig3(study));
+    out.extend(fig5(study));
+    out.extend(fig6(study));
+    out.extend(fig7(study));
+    out.extend(fig8(study));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_study, RunConfig};
+
+    fn quick_study() -> Study {
+        run_study(&RunConfig { api_frames: 6, sim_frames: 2, width: 96, height: 72, seed: 5 })
+    }
+
+    #[test]
+    fn all_figures_render() {
+        let study = quick_study();
+        let figures = all_figures(&study);
+        // 2 + 2 + 2 + 3 + 3 + 3 + 2 = 17 charts.
+        assert_eq!(figures.len(), 17);
+        for f in &figures {
+            assert!(f.chart.contains("Figure"), "chart missing title");
+            assert!(!f.series.is_empty());
+            assert!(f.to_csv().contains("frame,"));
+        }
+    }
+
+    #[test]
+    fn fig5_one_chart_per_simulated_game() {
+        let study = quick_study();
+        let figs = fig5(&study);
+        assert_eq!(figs.len(), 3);
+        for f in &figs {
+            assert_eq!(f.series[0].len(), 2, "one point per simulated frame");
+        }
+    }
+
+    #[test]
+    fn fig8_covers_quake4_and_fear() {
+        let study = quick_study();
+        let figs = fig8(&study);
+        assert_eq!(figs.len(), 2);
+        assert!(figs[0].title.contains("Quake4"));
+        assert!(figs[1].title.contains("FEAR"));
+    }
+}

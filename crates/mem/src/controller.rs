@@ -1,0 +1,263 @@
+//! Per-client memory traffic accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// The GPU units that generate memory traffic, matching the stages of the
+/// paper's Table XVI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemClient {
+    /// Command processor: command fetch and system→GPU transfers.
+    CommandProcessor,
+    /// Vertex load: index and vertex attribute fetch.
+    Vertex,
+    /// Z & stencil test stage.
+    ZStencil,
+    /// Texture sampling.
+    Texture,
+    /// Color / blend stage.
+    Color,
+    /// Display scan-out.
+    Dac,
+}
+
+impl MemClient {
+    /// All clients, in Table XVI column order.
+    pub const ALL: [MemClient; 6] = [
+        MemClient::Vertex,
+        MemClient::ZStencil,
+        MemClient::Texture,
+        MemClient::Color,
+        MemClient::Dac,
+        MemClient::CommandProcessor,
+    ];
+
+    /// Short display name (Table XVI column header).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemClient::CommandProcessor => "CP",
+            MemClient::Vertex => "Vertex",
+            MemClient::ZStencil => "Z&Stencil",
+            MemClient::Texture => "Texture",
+            MemClient::Color => "Color",
+            MemClient::Dac => "DAC",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MemClient::Vertex => 0,
+            MemClient::ZStencil => 1,
+            MemClient::Texture => 2,
+            MemClient::Color => 3,
+            MemClient::Dac => 4,
+            MemClient::CommandProcessor => 5,
+        }
+    }
+}
+
+/// Read/write byte counts for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClientTraffic {
+    /// Bytes read from GPU memory.
+    pub read: u64,
+    /// Bytes written to GPU memory.
+    pub written: u64,
+}
+
+impl ClientTraffic {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.read + self.written
+    }
+}
+
+/// One frame's traffic, broken down by client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FrameTraffic {
+    clients: [ClientTraffic; 6],
+}
+
+impl FrameTraffic {
+    /// Traffic of one client.
+    pub fn client(&self, c: MemClient) -> ClientTraffic {
+        self.clients[c.index()]
+    }
+
+    /// Total bytes read this frame.
+    pub fn total_read(&self) -> u64 {
+        self.clients.iter().map(|c| c.read).sum()
+    }
+
+    /// Total bytes written this frame.
+    pub fn total_written(&self) -> u64 {
+        self.clients.iter().map(|c| c.written).sum()
+    }
+
+    /// Total bytes moved this frame.
+    pub fn total(&self) -> u64 {
+        self.total_read() + self.total_written()
+    }
+
+    /// Fraction of this frame's traffic attributable to `c`
+    /// (`0.0` for an idle frame).
+    pub fn share(&self, c: MemClient) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.client(c).total() as f64 / total as f64
+        }
+    }
+
+    /// Merges another frame's traffic into this one (used to accumulate a
+    /// whole-run total).
+    pub fn merge(&mut self, other: &FrameTraffic) {
+        for (a, b) in self.clients.iter_mut().zip(other.clients.iter()) {
+            a.read += b.read;
+            a.written += b.written;
+        }
+    }
+}
+
+/// The memory controller: the single point every pipeline stage reports its
+/// memory transactions to.
+///
+/// Transactions are recorded in bytes; the controller tracks the current
+/// frame and keeps a history of completed frames. The `repro` harness turns
+/// the history into Tables XV and XVI.
+///
+/// ```
+/// use gwc_mem::{MemClient, MemoryController};
+///
+/// let mut mc = MemoryController::new();
+/// mc.read(MemClient::Texture, 64);
+/// mc.write(MemClient::Color, 256);
+/// let frame = mc.end_frame();
+/// assert_eq!(frame.total_read(), 64);
+/// assert_eq!(frame.total_written(), 256);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryController {
+    current: FrameTraffic,
+    frames: Vec<FrameTraffic>,
+}
+
+impl MemoryController {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes` by `client`.
+    pub fn read(&mut self, client: MemClient, bytes: u64) {
+        self.current.clients[client.index()].read += bytes;
+    }
+
+    /// Records a write of `bytes` by `client`.
+    pub fn write(&mut self, client: MemClient, bytes: u64) {
+        self.current.clients[client.index()].written += bytes;
+    }
+
+    /// Traffic recorded so far in the current frame.
+    pub fn current_frame(&self) -> &FrameTraffic {
+        &self.current
+    }
+
+    /// Closes the current frame, appends it to the history and returns it.
+    pub fn end_frame(&mut self) -> FrameTraffic {
+        let f = std::mem::take(&mut self.current);
+        self.frames.push(f);
+        f
+    }
+
+    /// Completed frames.
+    pub fn frames(&self) -> &[FrameTraffic] {
+        &self.frames
+    }
+
+    /// Sum of all completed frames.
+    pub fn total(&self) -> FrameTraffic {
+        let mut t = FrameTraffic::default();
+        for f in &self.frames {
+            t.merge(f);
+        }
+        t
+    }
+
+    /// Mean bytes per completed frame (`0.0` when no frames ended).
+    pub fn mean_bytes_per_frame(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.total().total() as f64 / self.frames.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_client_accounting() {
+        let mut mc = MemoryController::new();
+        mc.read(MemClient::Texture, 100);
+        mc.read(MemClient::Texture, 50);
+        mc.write(MemClient::ZStencil, 25);
+        let f = mc.end_frame();
+        assert_eq!(f.client(MemClient::Texture).read, 150);
+        assert_eq!(f.client(MemClient::ZStencil).written, 25);
+        assert_eq!(f.client(MemClient::Color).total(), 0);
+        assert_eq!(f.total(), 175);
+    }
+
+    #[test]
+    fn share_sums_to_one() {
+        let mut mc = MemoryController::new();
+        for c in MemClient::ALL {
+            mc.read(c, 10);
+            mc.write(c, 5);
+        }
+        let f = mc.end_frame();
+        let total: f64 = MemClient::ALL.iter().map(|&c| f.share(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_frame_share_is_zero() {
+        let f = FrameTraffic::default();
+        assert_eq!(f.share(MemClient::Dac), 0.0);
+    }
+
+    #[test]
+    fn frame_boundaries_reset_current() {
+        let mut mc = MemoryController::new();
+        mc.read(MemClient::Vertex, 10);
+        mc.end_frame();
+        assert_eq!(mc.current_frame().total(), 0);
+        mc.read(MemClient::Vertex, 20);
+        let f2 = mc.end_frame();
+        assert_eq!(f2.total_read(), 20);
+        assert_eq!(mc.frames().len(), 2);
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let mut mc = MemoryController::new();
+        mc.read(MemClient::Color, 100);
+        mc.end_frame();
+        mc.write(MemClient::Color, 300);
+        mc.end_frame();
+        assert_eq!(mc.total().total(), 400);
+        assert_eq!(mc.mean_bytes_per_frame(), 200.0);
+    }
+
+    #[test]
+    fn client_names_are_table_headers() {
+        assert_eq!(MemClient::ZStencil.name(), "Z&Stencil");
+        assert_eq!(MemClient::CommandProcessor.name(), "CP");
+        // ALL is in Table XVI order: Vertex first, CP last.
+        assert_eq!(MemClient::ALL[0], MemClient::Vertex);
+        assert_eq!(MemClient::ALL[5], MemClient::CommandProcessor);
+    }
+}

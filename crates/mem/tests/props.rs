@@ -1,0 +1,92 @@
+//! Property tests for the memory subsystem.
+
+use gwc_mem::compress::{classify_color_block, classify_z_block, BlockState};
+use gwc_mem::{AccessKind, Cache, CacheConfig, MemClient, MemoryController};
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never reports more hits than accesses, and fills equal misses.
+    #[test]
+    fn cache_invariants(addrs in prop::collection::vec(0u64..1_000_000, 1..500),
+                        ways in 1usize..8, sets in 1usize..8) {
+        let mut c = Cache::new(CacheConfig { ways, sets, line_size: 64 });
+        for (i, &a) in addrs.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            c.access(a, kind);
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert_eq!(s.fills, s.misses());
+        prop_assert!(s.writebacks <= s.fills);
+    }
+
+    /// Repeating the same address after a warm-up access always hits.
+    #[test]
+    fn cache_temporal_locality(addr in 0u64..1_000_000, reps in 1usize..50) {
+        let mut c = Cache::new(CacheConfig::TEXTURE_L1);
+        c.access(addr, AccessKind::Read);
+        for _ in 0..reps {
+            prop_assert!(c.access(addr, AccessKind::Read));
+        }
+    }
+
+    /// A bigger cache (more ways) never has a lower hit count on the same
+    /// trace when sets and line size are fixed (LRU inclusion property).
+    #[test]
+    fn lru_inclusion(addrs in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut small = Cache::new(CacheConfig { ways: 2, sets: 1, line_size: 64 });
+        let mut big = Cache::new(CacheConfig { ways: 8, sets: 1, line_size: 64 });
+        for &a in &addrs {
+            small.access(a, AccessKind::Read);
+            big.access(a, AccessKind::Read);
+        }
+        prop_assert!(big.stats().hits >= small.stats().hits);
+    }
+
+    /// Planar depth blocks always compress.
+    #[test]
+    fn planar_z_always_compresses(z0 in 0.2f32..0.8, dzdx in -0.001f32..0.001, dzdy in -0.001f32..0.001) {
+        // Gradients are small enough that no value leaves [0, 1], so the
+        // block is exactly planar.
+        let block: Vec<f32> = (0..64).map(|i| {
+            let (x, y) = (i % 8, i / 8);
+            z0 + dzdx * x as f32 + dzdy * y as f32
+        }).collect();
+        let s = classify_z_block(&block);
+        prop_assert!(s != BlockState::Uncompressed, "planar block classified raw");
+    }
+
+    /// Color blocks: uniform iff compressed.
+    #[test]
+    fn color_block_uniform_iff_compressed(colors in prop::collection::vec(any::<u32>(), 64)) {
+        let uniform = colors.iter().all(|&c| c == colors[0]);
+        let s = classify_color_block(&colors);
+        prop_assert_eq!(s == BlockState::Compressed25, uniform);
+    }
+
+    /// Controller: total equals sum of parts; shares sum to 1 when nonzero.
+    #[test]
+    fn controller_conservation(ops in prop::collection::vec((0usize..6, 0u64..10_000, any::<bool>()), 1..200)) {
+        let mut mc = MemoryController::new();
+        let mut expect_read = 0u64;
+        let mut expect_write = 0u64;
+        for (ci, bytes, is_read) in ops {
+            let client = MemClient::ALL[ci];
+            if is_read {
+                mc.read(client, bytes);
+                expect_read += bytes;
+            } else {
+                mc.write(client, bytes);
+                expect_write += bytes;
+            }
+        }
+        let f = mc.end_frame();
+        prop_assert_eq!(f.total_read(), expect_read);
+        prop_assert_eq!(f.total_written(), expect_write);
+        if f.total() > 0 {
+            let sum: f64 = MemClient::ALL.iter().map(|&c| f.share(c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

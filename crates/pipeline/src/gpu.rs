@@ -1,0 +1,739 @@
+//! The GPU: command execution through the full pipeline.
+
+use std::collections::HashMap;
+
+use gwc_api::{ClearMask, Command, CommandSink, Indices, StateCommand, VertexLayout};
+use gwc_math::Vec4;
+use gwc_mem::compress::{classify_color_block, classify_z_block, BlockState,
+                        CompressionDirectory};
+use gwc_mem::{tiled_offset, AccessKind, AddressSpace, Cache, CacheStats, MemClient,
+              MemoryController};
+use gwc_raster::{clip_near, rasterize, BlendState, ClipResult, CompareFunc, CullMode,
+                 DepthStencilBuffer, DepthState, FrontFace, HzBuffer, Quad, RasterStats,
+                 ShadedVertex, StencilOp, StencilState, TriangleSetup, Viewport, ZResult,
+                 MAX_VARYINGS};
+use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
+use gwc_texture::{SamplerState, Texture};
+
+use crate::colorbuffer::ColorBuffer;
+use crate::config::GpuConfig;
+use crate::stats::{FrameSimStats, SimStats};
+use crate::streamer::VertexCache;
+use crate::texunit::{BoundSampler, TextureUnit};
+
+#[derive(Debug)]
+struct VertexBufferRes {
+    layout: VertexLayout,
+    data: Vec<Vec4>,
+    #[allow(dead_code)]
+    addr: u64,
+}
+
+#[derive(Debug)]
+struct IndexBufferRes {
+    indices: Indices,
+    #[allow(dead_code)]
+    addr: u64,
+}
+
+/// The behavioural GPU simulator.
+///
+/// Construct one with a [`GpuConfig`], then feed it a command stream
+/// (it implements [`CommandSink`], so a [`gwc_api::Trace`] replays into it
+/// directly). Statistics accumulate per frame in [`Gpu::stats`].
+///
+/// ```
+/// use gwc_api::{Command, CommandSink};
+/// use gwc_pipeline::{Gpu, GpuConfig};
+///
+/// let mut gpu = Gpu::new(GpuConfig::r520(64, 64));
+/// gpu.consume(&Command::EndFrame);
+/// assert_eq!(gpu.stats().frames().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    viewport: Viewport,
+    vram: AddressSpace,
+
+    // Resources.
+    vertex_buffers: HashMap<u32, VertexBufferRes>,
+    index_buffers: HashMap<u32, IndexBufferRes>,
+    textures: HashMap<u32, (Texture, SamplerState)>,
+    programs: HashMap<u32, Program>,
+
+    // Bound state.
+    tex_bindings: HashMap<u8, u32>,
+    bound_vertex: Option<u32>,
+    bound_fragment: Option<u32>,
+    depth_state: DepthState,
+    stencil_front: StencilState,
+    stencil_back: StencilState,
+    cull: CullMode,
+    front_face: FrontFace,
+    blend: BlendState,
+    color_mask: bool,
+    alpha_test: Option<f32>,
+
+    // Execution units.
+    vs_machine: ShaderMachine,
+    fs_machine: ShaderMachine,
+    vcache: VertexCache,
+    texunit: TextureUnit,
+
+    // Framebuffer state.
+    zbuffer: DepthStencilBuffer,
+    hz: HzBuffer,
+    z_dir: CompressionDirectory,
+    z_cache: Cache,
+    zb_addr: u64,
+    colorbuffer: ColorBuffer,
+    color_dir: CompressionDirectory,
+    color_cache: Cache,
+    cb_addr: u64,
+
+    // Memory & statistics.
+    mem: MemoryController,
+    frame: FrameSimStats,
+    stats: SimStats,
+    vs_prev: ExecStats,
+    fs_prev: ExecStats,
+}
+
+impl Gpu {
+    /// Creates a GPU with cleared framebuffers.
+    pub fn new(config: GpuConfig) -> Self {
+        let viewport = Viewport::new(config.width, config.height);
+        let mut vram = AddressSpace::new();
+        let fb_bytes = config.width as u64 * config.height as u64 * 4;
+        let zb_addr = vram.alloc(fb_bytes, 256);
+        let cb_addr = vram.alloc(fb_bytes, 256);
+        Gpu {
+            viewport,
+            vram,
+            vertex_buffers: HashMap::new(),
+            index_buffers: HashMap::new(),
+            textures: HashMap::new(),
+            programs: HashMap::new(),
+            tex_bindings: HashMap::new(),
+            bound_vertex: None,
+            bound_fragment: None,
+            depth_state: DepthState::default(),
+            stencil_front: StencilState::default(),
+            stencil_back: StencilState::default(),
+            cull: CullMode::default(),
+            front_face: FrontFace::default(),
+            blend: BlendState::default(),
+            color_mask: true,
+            alpha_test: None,
+            vs_machine: ShaderMachine::new(),
+            fs_machine: ShaderMachine::new(),
+            vcache: VertexCache::new(config.vertex_cache_entries),
+            texunit: TextureUnit::new(&config),
+            zbuffer: DepthStencilBuffer::new(config.width, config.height),
+            hz: HzBuffer::new(config.width, config.height),
+            z_dir: CompressionDirectory::new(config.width, config.height),
+            z_cache: Cache::new(config.z_cache),
+            zb_addr,
+            colorbuffer: ColorBuffer::new(config.width, config.height),
+            color_dir: CompressionDirectory::new(config.width, config.height),
+            color_cache: Cache::new(config.color_cache),
+            cb_addr,
+            mem: MemoryController::new(),
+            frame: FrameSimStats::default(),
+            stats: SimStats::new(),
+            vs_prev: ExecStats::default(),
+            fs_prev: ExecStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Whole-run simulator statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Memory controller (per-frame traffic history).
+    pub fn memory(&self) -> &MemoryController {
+        &self.mem
+    }
+
+    /// Z & stencil cache statistics (Table XIV).
+    pub fn z_cache_stats(&self) -> &CacheStats {
+        self.z_cache.stats()
+    }
+
+    /// Color cache statistics (Table XIV).
+    pub fn color_cache_stats(&self) -> &CacheStats {
+        self.color_cache.stats()
+    }
+
+    /// The texture unit (cache + filtering statistics).
+    pub fn texture_unit(&self) -> &TextureUnit {
+        &self.texunit
+    }
+
+    /// The rendered color buffer.
+    pub fn framebuffer(&self) -> &ColorBuffer {
+        &self.colorbuffer
+    }
+
+    /// The depth/stencil buffer.
+    pub fn depth_buffer(&self) -> &DepthStencilBuffer {
+        &self.zbuffer
+    }
+
+    /// GPU memory allocated for resources + framebuffers.
+    pub fn vram_allocated(&self) -> u64 {
+        self.vram.allocated_bytes()
+    }
+
+    // ---- pipeline internals ------------------------------------------
+
+    /// Fetches a shaded vertex through the post-transform cache.
+    fn fetch_vertex(&mut self, vb: u32, index: u32, program: &Program) -> ShadedVertex {
+        self.frame.indices += 1;
+        if let Some(v) = self.vcache.lookup(index) {
+            self.frame.vcache_hits += 1;
+            return v;
+        }
+        let buf = &self.vertex_buffers[&vb];
+        let attrs = buf.layout.attributes as usize;
+        let base = index as usize * attrs;
+        let inputs = &buf.data[base..base + attrs];
+        // Vertex attribute fetch from GPU memory.
+        self.mem.read(MemClient::Vertex, buf.layout.stride_bytes as u64);
+        let outputs = self.vs_machine.run_vertex(program, inputs);
+        let mut varyings = [Vec4::ZERO; MAX_VARYINGS];
+        varyings.copy_from_slice(&outputs[1..1 + MAX_VARYINGS]);
+        let v = ShadedVertex { clip: outputs[0], varyings };
+        self.vcache.insert(index, v);
+        self.frame.shaded_vertices += 1;
+        v
+    }
+
+    /// Z & stencil cache access for one quad; returns nothing but accounts
+    /// fills and compressed writebacks.
+    fn z_cache_access(&mut self, x: u32, y: u32, write: bool) {
+        let addr = self.zb_addr + tiled_offset(x, y, self.config.width, 4);
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let out = self.z_cache.access_detailed(addr, kind);
+        if !out.hit {
+            let state = if self.config.z_compression {
+                self.z_dir.state_at(x, y)
+            } else {
+                BlockState::Uncompressed
+            };
+            let bytes = state.transfer_bytes(256);
+            if bytes > 0 {
+                self.mem.read(MemClient::ZStencil, bytes);
+            }
+        }
+        if let Some(line) = out.evicted_dirty_line {
+            self.write_back_z_line(line);
+        }
+    }
+
+
+    fn color_cache_access(&mut self, x: u32, y: u32, write: bool) {
+        let addr = self.cb_addr + tiled_offset(x, y, self.config.width, 4);
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let out = self.color_cache.access_detailed(addr, kind);
+        if !out.hit {
+            let state = if self.config.color_compression {
+                self.color_dir.state_at(x, y)
+            } else {
+                BlockState::Uncompressed
+            };
+            let bytes = state.transfer_bytes(256);
+            if bytes > 0 {
+                self.mem.read(MemClient::Color, bytes);
+            }
+        }
+        if let Some(line) = out.evicted_dirty_line {
+            self.write_back_color_line(line);
+        }
+    }
+
+    /// Maps a framebuffer line address back to the pixel of its 8×8 block.
+    fn block_pixel(&self, line_addr: u64, base: u64) -> (u32, u32) {
+        let block = (line_addr - base) / 256;
+        let blocks_x = self.config.width.div_ceil(8) as u64;
+        let bx = (block % blocks_x) as u32;
+        let by = (block / blocks_x) as u32;
+        (bx * 8, by * 8)
+    }
+
+    fn draw(
+        &mut self,
+        vertex_buffer: u32,
+        index_buffer: u32,
+        primitive: gwc_raster::PrimitiveType,
+        first: u32,
+        count: u32,
+    ) {
+        let (Some(vp_id), Some(fp_id)) = (self.bound_vertex, self.bound_fragment) else {
+            return; // no programs bound: draw is ignored
+        };
+        let vertex_program = self.programs[&vp_id].clone();
+        let fragment_program = self.programs[&fp_id].clone();
+        debug_assert_eq!(vertex_program.kind(), ProgramKind::Vertex);
+        debug_assert_eq!(fragment_program.kind(), ProgramKind::Fragment);
+
+        // Index fetch traffic (Vertex memory client reads the index list).
+        let bpi = self.index_buffers[&index_buffer].indices.bytes_per_index() as u64;
+        self.mem.read(MemClient::Vertex, bpi * count as u64);
+
+        // Early-z legality for this draw.
+        let early_z_ok = self.config.early_z
+            && self.depth_state.test
+            && !fragment_program.uses_kill()
+            && !fragment_program.writes_depth()
+            && self.alpha_test.is_none();
+        // HZ legality: rejectable depth func and no z-fail/fail-dependent
+        // stencil side effects.
+        let stencil_sensitive = |s: &StencilState| {
+            s.test && (s.zfail != StencilOp::Keep || s.fail != StencilOp::Keep)
+        };
+        let hz_ok = self.config.hierarchical_z
+            && self.depth_state.test
+            && matches!(
+                self.depth_state.func,
+                CompareFunc::Less | CompareFunc::LessEqual | CompareFunc::Equal
+            )
+            && !stencil_sensitive(&self.stencil_front)
+            && !stencil_sensitive(&self.stencil_back);
+
+        let tri_count = primitive.triangle_count(count as usize);
+        for t in 0..tri_count {
+            let (i0, i1, i2) = primitive.triangle_indices(t);
+            let fetch = |gpu: &mut Gpu, pos: usize| {
+                let idx = gpu.index_buffers[&index_buffer].indices.get(first as usize + pos);
+                gpu.fetch_vertex(vertex_buffer, idx, &vertex_program)
+            };
+            let v0 = fetch(self, i0);
+            let v1 = fetch(self, i1);
+            let v2 = fetch(self, i2);
+            self.frame.assembled += 1;
+
+            match clip_near(&[v0, v1, v2]) {
+                ClipResult::Rejected => {
+                    self.frame.clipped += 1;
+                }
+                ClipResult::Accepted => {
+                    self.setup_and_rasterize(&[v0, v1, v2], &fragment_program, early_z_ok, hz_ok, true);
+                }
+                ClipResult::Clipped(tris) => {
+                    for tri in &tris {
+                        self.setup_and_rasterize(tri, &fragment_program, early_z_ok, hz_ok, false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn setup_and_rasterize(
+        &mut self,
+        tri: &[ShadedVertex; 3],
+        fragment_program: &Program,
+        early_z_ok: bool,
+        hz_ok: bool,
+        count_cull: bool,
+    ) {
+        let Some(setup) = TriangleSetup::new(tri, &self.viewport) else {
+            // Degenerate / zero-area: discarded at setup.
+            if count_cull {
+                self.frame.culled += 1;
+            }
+            return;
+        };
+        if setup.is_culled(self.cull, self.front_face) {
+            if count_cull {
+                self.frame.culled += 1;
+            }
+            return;
+        }
+        self.frame.traversed += 1;
+        let front_facing = setup.is_front_facing(self.front_face);
+        let stencil = if front_facing { self.stencil_front } else { self.stencil_back };
+
+        let mut raster_stats = RasterStats::default();
+        let mut quads: Vec<Quad> = Vec::new();
+        rasterize(&setup, &self.viewport, &mut raster_stats, &mut |q| quads.push(*q));
+        self.frame.frags_raster += raster_stats.fragments;
+        self.frame.quads_raster += raster_stats.quads;
+        self.frame.quads_complete_raster += raster_stats.complete_quads;
+
+        for quad in &quads {
+            self.process_quad(quad, &setup, fragment_program, &stencil, early_z_ok, hz_ok);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_quad(
+        &mut self,
+        quad: &Quad,
+        setup: &TriangleSetup,
+        fragment_program: &Program,
+        stencil: &StencilState,
+        early_z_ok: bool,
+        hz_ok: bool,
+    ) {
+        // --- Hierarchical Z ---
+        if hz_ok {
+            let mut min_z = f32::INFINITY;
+            for lane in 0..4 {
+                if quad.coverage[lane] {
+                    min_z = min_z.min(quad.depth[lane]);
+                }
+            }
+            if !self.hz.test_quad(quad.x, quad.y, min_z, self.depth_state.func, &self.zbuffer) {
+                self.frame.quads_hz_removed += 1;
+                return;
+            }
+        }
+
+        let covered: [bool; 4] = quad.coverage;
+        let mut live = covered;
+
+        // --- Early Z & stencil ---
+        if early_z_ok {
+            if !self.run_zstencil(quad, &mut live, stencil) {
+                return;
+            }
+            // Color writes masked off and all tests already done: the quad
+            // is dropped *before* shading (stencil-volume quads reach this
+            // point in the Doom3-engine games — Table XI's shaded overdraw
+            // excludes them while Table IX counts them as "Color Mask").
+            if !self.color_mask {
+                self.frame.quads_colormask += 1;
+                return;
+            }
+        }
+
+        // --- Fragment shading ---
+        let lane_inputs: [[Vec4; MAX_VARYINGS]; 4] = std::array::from_fn(|lane| {
+            let (x, y) = quad.lane_pos(lane);
+            let (x, y) = (x.min(self.config.width - 1), y.min(self.config.height - 1));
+            setup.varyings_at(x, y)
+        });
+        let input_refs: [&[Vec4]; 4] = [
+            &lane_inputs[0],
+            &lane_inputs[1],
+            &lane_inputs[2],
+            &lane_inputs[3],
+        ];
+        let result = {
+            let mut sampler = BoundSampler {
+                bindings: &self.tex_bindings,
+                pool: &self.textures,
+                unit: &mut self.texunit,
+                mem: &mut self.mem,
+            };
+            self.fs_machine.run_fragment_quad(fragment_program, &input_refs, live, &mut sampler)
+        };
+        let shaded = live.iter().filter(|&&l| l).count() as u64;
+        self.frame.frags_shaded += shaded;
+
+        // --- Kill / alpha test ---
+        let mut any_removed_by_alpha = false;
+        for lane in 0..4 {
+            if !live[lane] {
+                continue;
+            }
+            if result.killed[lane] {
+                live[lane] = false;
+                any_removed_by_alpha = true;
+                continue;
+            }
+            if let Some(reference) = self.alpha_test {
+                if result.color[lane].w < reference {
+                    live[lane] = false;
+                    any_removed_by_alpha = true;
+                }
+            }
+        }
+        if live.iter().all(|&l| !l) {
+            if any_removed_by_alpha {
+                self.frame.quads_alpha_removed += 1;
+            }
+            return;
+        }
+
+        // --- Late Z & stencil ---
+        if !early_z_ok {
+            // Apply shader-written depth if present.
+            let mut q = *quad;
+            if let Some(depths) = result.depth {
+                q.depth = depths;
+            }
+            if !self.run_zstencil_masked(&q, &mut live, stencil) {
+                return;
+            }
+        }
+
+        // --- Color mask ---
+        if !self.color_mask {
+            self.frame.quads_colormask += 1;
+            return;
+        }
+
+        // --- Blend & color write ---
+        // Write-allocate: the fill covers the blend's destination read too.
+        self.color_cache_access(quad.x, quad.y, true);
+        let mut written = 0u64;
+        for lane in 0..4 {
+            if !live[lane] {
+                continue;
+            }
+            let (x, y) = quad.lane_pos(lane);
+            if x >= self.config.width || y >= self.config.height {
+                continue;
+            }
+            self.colorbuffer.write(x, y, result.color[lane], &self.blend);
+            written += 1;
+        }
+        self.frame.frags_blended += written;
+        self.frame.quads_blended += 1;
+    }
+
+    /// Z & stencil for an early-z quad (tests covered lanes).
+    /// Returns `false` when the whole quad is removed.
+    fn run_zstencil(&mut self, quad: &Quad, live: &mut [bool; 4], stencil: &StencilState) -> bool {
+        self.run_zstencil_inner(quad, live, stencil)
+    }
+
+    /// Z & stencil after shading (lanes already masked by alpha/kill).
+    fn run_zstencil_masked(
+        &mut self,
+        quad: &Quad,
+        live: &mut [bool; 4],
+        stencil: &StencilState,
+    ) -> bool {
+        self.run_zstencil_inner(quad, live, stencil)
+    }
+
+    fn run_zstencil_inner(
+        &mut self,
+        quad: &Quad,
+        live: &mut [bool; 4],
+        stencil: &StencilState,
+    ) -> bool {
+        let tested = live.iter().filter(|&&l| l).count() as u64;
+        if tested == 0 {
+            return false;
+        }
+        self.frame.frags_zst += tested;
+        let writes = (self.depth_state.test && self.depth_state.write) || stencil.test;
+        self.z_cache_access(quad.x, quad.y, writes);
+        let mut any_pass = false;
+        for lane in 0..4 {
+            if !live[lane] {
+                continue;
+            }
+            let (x, y) = quad.lane_pos(lane);
+            if x >= self.config.width || y >= self.config.height {
+                live[lane] = false;
+                continue;
+            }
+            let r = self
+                .zbuffer
+                .test_and_update(x, y, quad.depth[lane], &self.depth_state, stencil);
+            match r {
+                ZResult::Pass => {
+                    if self.depth_state.test && self.depth_state.write {
+                        self.hz.note_depth_write(x, y);
+                    }
+                    any_pass = true;
+                }
+                ZResult::DepthFail | ZResult::StencilFail => {
+                    live[lane] = false;
+                }
+            }
+        }
+        if !any_pass {
+            self.frame.quads_zst_removed += 1;
+            return false;
+        }
+        self.frame.quads_zst_survived += 1;
+        if live.iter().all(|&l| l) {
+            self.frame.quads_zst_complete += 1;
+        }
+        true
+    }
+
+    fn clear(&mut self, mask: ClearMask, color: Vec4, depth: f32, stencil: u8) {
+        if mask.depth {
+            self.zbuffer.clear_depth(depth);
+            self.hz.clear(depth);
+        }
+        if mask.stencil {
+            self.zbuffer.clear_stencil(stencil);
+        }
+        if mask.depth && mask.stencil {
+            // Only a full depth+stencil clear is a fast clear of the
+            // combined surface; a partial clear leaves live data, so the
+            // compression state and cached lines must survive (the cache is
+            // architectural state here: the cleared plane's stored values
+            // are read back from the buffers, not the cache model).
+            self.z_dir.fast_clear();
+            self.z_cache.invalidate();
+        }
+        if mask.color {
+            self.colorbuffer.clear(color);
+            self.color_dir.fast_clear();
+            self.color_cache.invalidate();
+        }
+    }
+
+    fn end_frame(&mut self) {
+        // Flush framebuffer caches (dirty lines become compressed
+        // writebacks).
+        for line in self.z_cache.flush_collect() {
+            self.write_back_z_line(line);
+        }
+        for line in self.color_cache.flush_collect() {
+            self.write_back_color_line(line);
+        }
+        // DAC scan-out: reads the (possibly compressed) color surface.
+        let mut dac_bytes = 0u64;
+        for by in 0..self.color_dir.blocks_y() {
+            for bx in 0..self.color_dir.blocks_x() {
+                let state = if self.config.color_compression {
+                    self.color_dir.state_at(bx * 8, by * 8)
+                } else {
+                    BlockState::Uncompressed
+                };
+                dac_bytes += state.transfer_bytes(256);
+            }
+        }
+        self.mem.read(MemClient::Dac, dac_bytes);
+
+        // Shader execution deltas.
+        let vs_now = *self.vs_machine.stats();
+        let fs_now = *self.fs_machine.stats();
+        self.frame.vs_instructions = vs_now.instructions - self.vs_prev.instructions;
+        self.frame.fs_instructions = fs_now.instructions - self.fs_prev.instructions;
+        self.frame.fs_tex_instructions =
+            fs_now.texture_instructions - self.fs_prev.texture_instructions;
+        self.vs_prev = vs_now;
+        self.fs_prev = fs_now;
+
+        // Texture filtering stats.
+        let tex = self.texunit.take_sample_stats();
+        self.frame.tex_requests = tex.requests;
+        self.frame.bilinear_samples = tex.bilinear_samples;
+
+        self.mem.end_frame();
+        let frame = std::mem::take(&mut self.frame);
+        self.stats.push_frame(frame);
+        self.vcache.reset_stats();
+    }
+
+    fn write_back_z_line(&mut self, line: u64) {
+        // Writebacks already counted by flush_collect; size them here.
+        let (x, y) = self.block_pixel(line, self.zb_addr);
+        let state = if self.config.z_compression {
+            classify_z_block(&self.zbuffer.block_depths(x, y))
+        } else {
+            BlockState::Uncompressed
+        };
+        self.z_dir.set_state_at(x, y, state);
+        self.mem.write(MemClient::ZStencil, state.transfer_bytes(256).max(64));
+    }
+
+    fn write_back_color_line(&mut self, line: u64) {
+        let (x, y) = self.block_pixel(line, self.cb_addr);
+        let state = if self.config.color_compression {
+            classify_color_block(&self.colorbuffer.block_colors(x, y))
+        } else {
+            BlockState::Uncompressed
+        };
+        self.color_dir.set_state_at(x, y, state);
+        self.mem.write(MemClient::Color, state.transfer_bytes(256).max(64));
+    }
+}
+
+impl CommandSink for Gpu {
+    fn consume(&mut self, command: &Command) {
+        // Command processor fetch traffic.
+        self.mem
+            .read(MemClient::CommandProcessor, self.config.cp_bytes_per_command as u64);
+        match command {
+            Command::CreateVertexBuffer { id, layout, data } => {
+                let bytes = (data.len() / layout.attributes.max(1) as usize) as u64
+                    * layout.stride_bytes as u64;
+                let addr = self.vram.alloc(bytes.max(1), 256);
+                self.vertex_buffers
+                    .insert(*id, VertexBufferRes { layout: *layout, data: data.clone(), addr });
+                // Upload: CP writes the buffer into GPU memory.
+                self.mem.write(MemClient::CommandProcessor, bytes);
+            }
+            Command::CreateIndexBuffer { id, indices } => {
+                let bytes = indices.total_bytes();
+                let addr = self.vram.alloc(bytes.max(1), 256);
+                self.index_buffers.insert(*id, IndexBufferRes { indices: indices.clone(), addr });
+                self.mem.write(MemClient::CommandProcessor, bytes);
+            }
+            Command::CreateTexture { id, image, format, mipmaps, sampler } => {
+                let tex = Texture::from_image(image, *format, *mipmaps, &mut self.vram);
+                self.mem.write(MemClient::CommandProcessor, tex.memory_bytes());
+                self.textures.insert(*id, (tex, *sampler));
+            }
+            Command::CreateProgram { id, program } => {
+                self.programs.insert(*id, program.clone());
+            }
+            Command::State(state) => match state {
+                StateCommand::Depth(d) => self.depth_state = *d,
+                StateCommand::StencilFront(s) => self.stencil_front = *s,
+                StateCommand::StencilBack(s) => self.stencil_back = *s,
+                StateCommand::Cull(c) => self.cull = *c,
+                StateCommand::FrontFaceWinding(w) => self.front_face = *w,
+                StateCommand::Blend(b) => self.blend = *b,
+                StateCommand::ColorMask(m) => self.color_mask = *m,
+                StateCommand::AlphaTest { enabled, reference } => {
+                    self.alpha_test = enabled.then_some(*reference);
+                }
+                StateCommand::BindTexture { unit, texture } => {
+                    self.tex_bindings.insert(*unit, *texture);
+                }
+                StateCommand::BindPrograms { vertex, fragment } => {
+                    if self.bound_vertex != Some(*vertex) {
+                        self.bound_vertex = Some(*vertex);
+                        // New vertex program invalidates cached transforms.
+                        self.vcache.invalidate();
+                    }
+                    self.bound_fragment = Some(*fragment);
+                }
+                StateCommand::VertexConstants { base, values } => {
+                    for (i, v) in values.iter().enumerate() {
+                        self.vs_machine.set_constant(*base as usize + i, *v);
+                    }
+                    // Constants change transformed results.
+                    self.vcache.invalidate();
+                }
+                StateCommand::FragmentConstants { base, values } => {
+                    for (i, v) in values.iter().enumerate() {
+                        self.fs_machine.set_constant(*base as usize + i, *v);
+                    }
+                }
+            },
+            Command::Clear { mask, color, depth, stencil } => {
+                self.clear(*mask, *color, *depth, *stencil);
+            }
+            Command::Draw { vertex_buffer, index_buffer, primitive, first, count } => {
+                // Different draws reference different vertex ranges; the
+                // post-transform cache is index-tagged per buffer, so flush
+                // between draws of different buffers (conservative).
+                self.draw(*vertex_buffer, *index_buffer, *primitive, *first, *count);
+                self.vcache.invalidate();
+            }
+            Command::EndFrame => self.end_frame(),
+        }
+    }
+}

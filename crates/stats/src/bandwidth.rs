@@ -1,0 +1,102 @@
+//! Byte-count → bandwidth conversions.
+//!
+//! The paper reports index and memory traffic as `MB/s` or `GB/s` at an
+//! assumed frame rate (`BW @ 100fps` in Tables III and XV). These helpers
+//! centralize those conversions and their display formatting.
+
+/// Bytes in a megabyte (the paper uses decimal-ish MB for bandwidth; we use
+/// binary MiB consistently, which only shifts absolute numbers by ~5%).
+pub const MB: f64 = 1024.0 * 1024.0;
+
+/// Bytes in a gigabyte.
+pub const GB: f64 = 1024.0 * MB;
+
+/// Converts bytes-per-frame into bytes-per-second at `fps`.
+///
+/// ```
+/// let bps = gwc_stats::bandwidth::bytes_per_second(1_000_000.0, 100.0);
+/// assert_eq!(bps, 100_000_000.0);
+/// ```
+pub fn bytes_per_second(bytes_per_frame: f64, fps: f64) -> f64 {
+    bytes_per_frame * fps
+}
+
+/// Converts bytes-per-frame into MB/s at `fps` (Table III's `BW @ 100fps`).
+pub fn mb_per_second(bytes_per_frame: f64, fps: f64) -> f64 {
+    bytes_per_second(bytes_per_frame, fps) / MB
+}
+
+/// Converts bytes-per-frame into GB/s at `fps` (Table XV's `BW @ 100fps`).
+pub fn gb_per_second(bytes_per_frame: f64, fps: f64) -> f64 {
+    bytes_per_second(bytes_per_frame, fps) / GB
+}
+
+/// Formats a byte count with an adaptive unit (`B`, `KB`, `MB`, `GB`).
+///
+/// ```
+/// assert_eq!(gwc_stats::bandwidth::format_bytes(2.5 * 1024.0 * 1024.0), "2.50 MB");
+/// ```
+pub fn format_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if abs >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if abs >= 1024.0 {
+        format!("{:.2} KB", bytes / 1024.0)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a bytes-per-second rate with an adaptive unit.
+pub fn format_rate(bytes_per_sec: f64) -> String {
+    format!("{}/s", format_bytes(bytes_per_sec))
+}
+
+/// Theoretical bus bandwidth table of the paper's Table VI.
+///
+/// Returns `(name, width_bits, clock_mhz_effective, bytes_per_second)`.
+/// PCI Express entries account for the 10-bits-per-byte 8b/10b encoding the
+/// paper footnotes.
+pub fn system_bus_table() -> Vec<(&'static str, u32, f64, f64)> {
+    let agp = |mult: f64| 32.0 / 8.0 * 66.0e6 * mult;
+    let pcie = |lanes: f64| 2.5e9 * lanes / 10.0;
+    vec![
+        ("AGP 4X", 32, 66.0 * 4.0, agp(4.0)),
+        ("AGP 8X", 32, 66.0 * 8.0, agp(8.0)),
+        ("PCI Express x4", 1, 2500.0, pcie(4.0)),
+        ("PCI Express x8", 1, 2500.0, pcie(8.0)),
+        ("PCI Express x16", 1, 2500.0, pcie(16.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_per_second_at_100fps() {
+        // 1 MiB per frame at 100 fps = 100 MiB/s.
+        assert!((mb_per_second(MB, 100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_units() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(2048.0), "2.00 KB");
+        assert_eq!(format_bytes(3.0 * GB), "3.00 GB");
+        assert_eq!(format_rate(MB), "1.00 MB/s");
+    }
+
+    #[test]
+    fn bus_table_matches_paper() {
+        let t = system_bus_table();
+        let by_name = |n: &str| t.iter().find(|e| e.0 == n).unwrap().3;
+        // AGP 4X ≈ 1.056 GB/s (decimal).
+        assert!((by_name("AGP 4X") - 1.056e9).abs() < 1e6);
+        assert!((by_name("AGP 8X") - 2.112e9).abs() < 1e6);
+        // PCIe x16 = 4 GB/s after 8b/10b.
+        assert!((by_name("PCI Express x16") - 4.0e9).abs() < 1e6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Statistics collection and presentation for the GWC suite.
+//!
+//! The paper reports two kinds of results: *averages over a whole timedemo*
+//! (the tables) and *per-frame series* (the figures). This crate provides
+//! the vocabulary for both:
+//!
+//! - [`RunningStat`] — streaming count/sum/mean/min/max.
+//! - [`TimeSeries`] — a per-frame series with summary statistics.
+//! - [`Histogram`] — fixed-width bins with quantile queries.
+//! - [`bandwidth`] — byte-count → `MB/s @ fps` conversions used by
+//!   Tables III, XV and XVI.
+//! - [`Table`] — aligned ASCII/CSV table rendering for the `repro` harness.
+//! - [`ascii_chart`] — terminal rendering of figure series.
+//!
+//! # Examples
+//!
+//! ```
+//! use gwc_stats::TimeSeries;
+//!
+//! let mut batches = TimeSeries::new("batches/frame");
+//! for f in 0..100 {
+//!     batches.push(500.0 + (f % 10) as f64);
+//! }
+//! assert!(batches.mean() > 500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+mod histogram;
+mod running;
+mod series;
+mod table;
+
+pub use histogram::Histogram;
+pub use running::RunningStat;
+pub use series::{ascii_chart, TimeSeries};
+pub use table::{fmt_f, fmt_pct, Align, Table};

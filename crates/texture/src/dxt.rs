@@ -1,0 +1,358 @@
+//! S3TC (DXT1/DXT3/DXT5) block compression.
+//!
+//! Real encoders and decoders, not placeholders: the encoder picks block
+//! endpoints along the color range, quantizes them to RGB565 and assigns
+//! 2-bit palette indices; the decoders reverse the process bit-exactly the
+//! way a GPU's texture unit does. Compression artifacts therefore appear in
+//! sampled colors exactly as on hardware.
+
+/// Encodes one RGB565 color from 8-bit channels.
+fn pack_565(r: u8, g: u8, b: u8) -> u16 {
+    ((r as u16 >> 3) << 11) | ((g as u16 >> 2) << 5) | (b as u16 >> 3)
+}
+
+/// Decodes RGB565 to 8-bit channels (with bit replication).
+fn unpack_565(c: u16) -> [u8; 3] {
+    let r5 = ((c >> 11) & 0x1f) as u8;
+    let g6 = ((c >> 5) & 0x3f) as u8;
+    let b5 = (c & 0x1f) as u8;
+    [(r5 << 3) | (r5 >> 2), (g6 << 2) | (g6 >> 4), (b5 << 3) | (b5 >> 2)]
+}
+
+fn color_palette(c0: u16, c1: u16, dxt1_mode: bool) -> [[u8; 4]; 4] {
+    let a = unpack_565(c0);
+    let b = unpack_565(c1);
+    let mix = |x: u8, y: u8, num: u16, den: u16| ((x as u16 * num + y as u16 * (den - num)) / den) as u8;
+    if !dxt1_mode || c0 > c1 {
+        [
+            [a[0], a[1], a[2], 255],
+            [b[0], b[1], b[2], 255],
+            [mix(a[0], b[0], 2, 3), mix(a[1], b[1], 2, 3), mix(a[2], b[2], 2, 3), 255],
+            [mix(a[0], b[0], 1, 3), mix(a[1], b[1], 1, 3), mix(a[2], b[2], 1, 3), 255],
+        ]
+    } else {
+        [
+            [a[0], a[1], a[2], 255],
+            [b[0], b[1], b[2], 255],
+            [mix(a[0], b[0], 1, 2), mix(a[1], b[1], 1, 2), mix(a[2], b[2], 1, 2), 255],
+            [0, 0, 0, 0], // transparent black
+        ]
+    }
+}
+
+/// Encodes a 4×4 block of RGBA texels (row-major, 16 entries) into an
+/// 8-byte DXT1 color block.
+///
+/// # Panics
+///
+/// Panics if `texels.len() != 16`.
+pub fn encode_color_block(texels: &[[u8; 4]]) -> [u8; 8] {
+    assert_eq!(texels.len(), 16, "DXT block must have 16 texels");
+    // Endpoints: min/max along luminance.
+    let luma = |t: &[u8; 4]| 299 * t[0] as u32 + 587 * t[1] as u32 + 114 * t[2] as u32;
+    let (mut lo, mut hi) = (&texels[0], &texels[0]);
+    for t in texels {
+        if luma(t) < luma(lo) {
+            lo = t;
+        }
+        if luma(t) > luma(hi) {
+            hi = t;
+        }
+    }
+    let mut c0 = pack_565(hi[0], hi[1], hi[2]);
+    let mut c1 = pack_565(lo[0], lo[1], lo[2]);
+    if c0 < c1 {
+        std::mem::swap(&mut c0, &mut c1);
+    } else if c0 == c1 && c0 > 0 {
+        // Force the 4-color mode by separating the endpoints minimally.
+        c1 -= 1;
+    }
+    let palette = color_palette(c0, c1, true);
+    let mut indices = 0u32;
+    for (i, t) in texels.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = u32::MAX;
+        for (pi, p) in palette.iter().enumerate().take(if c0 > c1 { 4 } else { 3 }) {
+            let d = (t[0] as i32 - p[0] as i32).pow(2) as u32
+                + (t[1] as i32 - p[1] as i32).pow(2) as u32
+                + (t[2] as i32 - p[2] as i32).pow(2) as u32;
+            if d < best_d {
+                best_d = d;
+                best = pi;
+            }
+        }
+        indices |= (best as u32) << (2 * i);
+    }
+    let mut out = [0u8; 8];
+    out[0..2].copy_from_slice(&c0.to_le_bytes());
+    out[2..4].copy_from_slice(&c1.to_le_bytes());
+    out[4..8].copy_from_slice(&indices.to_le_bytes());
+    out
+}
+
+/// Decodes an 8-byte DXT1 color block into 16 RGBA texels.
+///
+/// # Panics
+///
+/// Panics if `block.len() != 8`.
+pub fn decode_color_block(block: &[u8], dxt1_mode: bool) -> [[u8; 4]; 16] {
+    assert_eq!(block.len(), 8, "DXT color block is 8 bytes");
+    let c0 = u16::from_le_bytes([block[0], block[1]]);
+    let c1 = u16::from_le_bytes([block[2], block[3]]);
+    let indices = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+    let palette = color_palette(c0, c1, dxt1_mode);
+    let mut out = [[0u8; 4]; 16];
+    for (i, texel) in out.iter_mut().enumerate() {
+        *texel = palette[((indices >> (2 * i)) & 3) as usize];
+    }
+    out
+}
+
+/// Encodes 16 alpha values as a DXT3 explicit 4-bit alpha block (8 bytes).
+pub fn encode_alpha_dxt3(alphas: &[u8; 16]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for i in 0..8 {
+        let a0 = alphas[2 * i] >> 4;
+        let a1 = alphas[2 * i + 1] >> 4;
+        out[i] = a0 | (a1 << 4);
+    }
+    out
+}
+
+/// Decodes a DXT3 alpha block.
+pub fn decode_alpha_dxt3(block: &[u8]) -> [u8; 16] {
+    assert_eq!(block.len(), 8, "DXT3 alpha block is 8 bytes");
+    let mut out = [0u8; 16];
+    for i in 0..8 {
+        let lo = block[i] & 0x0f;
+        let hi = block[i] >> 4;
+        out[2 * i] = lo << 4 | lo;
+        out[2 * i + 1] = hi << 4 | hi;
+    }
+    out
+}
+
+fn alpha_palette(a0: u8, a1: u8) -> [u8; 8] {
+    let mut p = [0u8; 8];
+    p[0] = a0;
+    p[1] = a1;
+    if a0 > a1 {
+        for i in 1..7 {
+            p[i + 1] = (((7 - i) as u16 * a0 as u16 + i as u16 * a1 as u16) / 7) as u8;
+        }
+    } else {
+        for i in 1..5 {
+            p[i + 1] = (((5 - i) as u16 * a0 as u16 + i as u16 * a1 as u16) / 5) as u8;
+        }
+        p[6] = 0;
+        p[7] = 255;
+    }
+    p
+}
+
+/// Encodes 16 alpha values as a DXT5 interpolated alpha block (8 bytes).
+pub fn encode_alpha_dxt5(alphas: &[u8; 16]) -> [u8; 8] {
+    let a0 = *alphas.iter().max().unwrap();
+    let a1 = *alphas.iter().min().unwrap();
+    let (a0, a1) = if a0 == a1 { (a0, a0) } else { (a0, a1) };
+    let palette = alpha_palette(a0, a1);
+    let mut bits: u64 = 0;
+    for (i, &a) in alphas.iter().enumerate() {
+        let mut best = 0u64;
+        let mut best_d = u16::MAX;
+        for (pi, &p) in palette.iter().enumerate() {
+            let d = (a as i16 - p as i16).unsigned_abs();
+            if d < best_d {
+                best_d = d;
+                best = pi as u64;
+            }
+        }
+        bits |= best << (3 * i);
+    }
+    let mut out = [0u8; 8];
+    out[0] = a0;
+    out[1] = a1;
+    out[2..8].copy_from_slice(&bits.to_le_bytes()[0..6]);
+    out
+}
+
+/// Decodes a DXT5 alpha block.
+pub fn decode_alpha_dxt5(block: &[u8]) -> [u8; 16] {
+    assert_eq!(block.len(), 8, "DXT5 alpha block is 8 bytes");
+    let palette = alpha_palette(block[0], block[1]);
+    let mut bits = [0u8; 8];
+    bits[0..6].copy_from_slice(&block[2..8]);
+    let bits = u64::from_le_bytes(bits);
+    let mut out = [0u8; 16];
+    for (i, texel) in out.iter_mut().enumerate() {
+        *texel = palette[((bits >> (3 * i)) & 7) as usize];
+    }
+    out
+}
+
+/// Encodes a full 4×4 RGBA block in the given DXT flavour.
+///
+/// Returns 8 bytes for DXT1 and 16 for DXT3/DXT5.
+///
+/// # Panics
+///
+/// Panics if `texels.len() != 16` or `format` is not a DXT format.
+pub fn encode_block(texels: &[[u8; 4]], format: crate::TexFormat) -> Vec<u8> {
+    assert_eq!(texels.len(), 16);
+    let color = encode_color_block(texels);
+    match format {
+        crate::TexFormat::Dxt1 => color.to_vec(),
+        crate::TexFormat::Dxt3 => {
+            let alphas: [u8; 16] = std::array::from_fn(|i| texels[i][3]);
+            let mut out = encode_alpha_dxt3(&alphas).to_vec();
+            out.extend_from_slice(&color);
+            out
+        }
+        crate::TexFormat::Dxt5 => {
+            let alphas: [u8; 16] = std::array::from_fn(|i| texels[i][3]);
+            let mut out = encode_alpha_dxt5(&alphas).to_vec();
+            out.extend_from_slice(&color);
+            out
+        }
+        other => panic!("encode_block: {other:?} is not a DXT format"),
+    }
+}
+
+/// Decodes a DXT block produced by [`encode_block`].
+///
+/// # Panics
+///
+/// Panics on wrong block length or non-DXT format.
+pub fn decode_block(block: &[u8], format: crate::TexFormat) -> [[u8; 4]; 16] {
+    match format {
+        crate::TexFormat::Dxt1 => decode_color_block(block, true),
+        crate::TexFormat::Dxt3 => {
+            let alphas = decode_alpha_dxt3(&block[0..8]);
+            let mut texels = decode_color_block(&block[8..16], false);
+            for i in 0..16 {
+                texels[i][3] = alphas[i];
+            }
+            texels
+        }
+        crate::TexFormat::Dxt5 => {
+            let alphas = decode_alpha_dxt5(&block[0..8]);
+            let mut texels = decode_color_block(&block[8..16], false);
+            for i in 0..16 {
+                texels[i][3] = alphas[i];
+            }
+            texels
+        }
+        other => panic!("decode_block: {other:?} is not a DXT format"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TexFormat;
+
+    fn solid(color: [u8; 4]) -> Vec<[u8; 4]> {
+        vec![color; 16]
+    }
+
+    #[test]
+    fn rgb565_roundtrip_extremes() {
+        assert_eq!(unpack_565(pack_565(255, 255, 255)), [255, 255, 255]);
+        assert_eq!(unpack_565(pack_565(0, 0, 0)), [0, 0, 0]);
+    }
+
+    #[test]
+    fn solid_block_roundtrips_closely() {
+        for color in [[255u8, 0, 0, 255], [0, 255, 0, 255], [13, 77, 211, 255], [128, 128, 128, 255]] {
+            let enc = encode_color_block(&solid(color));
+            let dec = decode_color_block(&enc, true);
+            for t in dec {
+                for c in 0..3 {
+                    assert!(
+                        (t[c] as i16 - color[c] as i16).abs() <= 8,
+                        "channel {c}: {} vs {}",
+                        t[c],
+                        color[c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_block_error_bounded() {
+        let texels: Vec<[u8; 4]> = (0..16).map(|i| {
+            let v = (i * 16) as u8;
+            [v, v, v, 255]
+        }).collect();
+        let enc = encode_color_block(&texels);
+        let dec = decode_color_block(&enc, true);
+        for (orig, got) in texels.iter().zip(dec.iter()) {
+            // 2-bit palette over a full gradient: error within ~1/3 range + 565 quantization.
+            assert!((orig[0] as i16 - got[0] as i16).abs() <= 48);
+        }
+    }
+
+    #[test]
+    fn dxt3_alpha_roundtrip() {
+        let alphas: [u8; 16] = std::array::from_fn(|i| (i * 17) as u8);
+        let dec = decode_alpha_dxt3(&encode_alpha_dxt3(&alphas));
+        for (a, b) in alphas.iter().zip(dec.iter()) {
+            assert!((*a as i16 - *b as i16).abs() <= 17, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dxt5_alpha_roundtrip_precision() {
+        let alphas: [u8; 16] = std::array::from_fn(|i| 100 + (i * 3) as u8);
+        let dec = decode_alpha_dxt5(&encode_alpha_dxt5(&alphas));
+        for (a, b) in alphas.iter().zip(dec.iter()) {
+            // DXT5's 8-entry interpolated palette is much tighter than DXT3's 4-bit.
+            assert!((*a as i16 - *b as i16).abs() <= 6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dxt5_constant_alpha_exact() {
+        let alphas = [200u8; 16];
+        assert_eq!(decode_alpha_dxt5(&encode_alpha_dxt5(&alphas)), alphas);
+    }
+
+    #[test]
+    fn full_block_sizes() {
+        let t = solid([1, 2, 3, 4]);
+        assert_eq!(encode_block(&t, TexFormat::Dxt1).len(), 8);
+        assert_eq!(encode_block(&t, TexFormat::Dxt3).len(), 16);
+        assert_eq!(encode_block(&t, TexFormat::Dxt5).len(), 16);
+    }
+
+    #[test]
+    fn dxt5_full_roundtrip_with_alpha() {
+        let texels: Vec<[u8; 4]> = (0..16).map(|i| [200, 100, 50, (i * 16) as u8]).collect();
+        let enc = encode_block(&texels, TexFormat::Dxt5);
+        let dec = decode_block(&enc, TexFormat::Dxt5);
+        for (orig, got) in texels.iter().zip(dec.iter()) {
+            assert!((orig[3] as i16 - got[3] as i16).abs() <= 16);
+            assert!((orig[0] as i16 - got[0] as i16).abs() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DXT format")]
+    fn encode_rgba8_panics() {
+        encode_block(&solid([0; 4]), TexFormat::Rgba8);
+    }
+
+    #[test]
+    fn two_color_block_preserves_both() {
+        let mut texels = solid([255, 0, 0, 255]);
+        for t in texels.iter_mut().take(8) {
+            *t = [0, 0, 255, 255];
+        }
+        let enc = encode_color_block(&texels);
+        let dec = decode_color_block(&enc, true);
+        // Reds stay reddish, blues stay bluish.
+        assert!(dec[0][2] > dec[0][0]);
+        assert!(dec[15][0] > dec[15][2]);
+    }
+}

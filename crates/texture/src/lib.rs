@@ -1,0 +1,45 @@
+//! Texture storage, compression, mipmapping and filtering.
+//!
+//! Texturing dominates both the fragment-shader workload (Table XII's
+//! texture instructions) and memory bandwidth (Table XVI gives texturing
+//! 23–42% of all GPU traffic). Two properties the paper measures are
+//! modelled faithfully here:
+//!
+//! - **Filtering cost.** The texture throughput of the simulated GPU is one
+//!   *bilinear sample* per cycle per pipe; trilinear costs 2 bilinears and
+//!   anisotropic filtering up to `2 × N` for an `N`-tap filter. The
+//!   dynamic bilinear-per-request ratio is Table XIII's key statistic, and
+//!   it emerges here from real derivative-based LOD and anisotropy
+//!   computation on quad footprints.
+//! - **Compressed storage.** Game textures are DXT1/3/5 compressed; the
+//!   texture cache L1 stores compressed blocks while L0 stores decompressed
+//!   texels. This crate implements real DXT encode/decode and exposes both
+//!   the uncompressed and compressed address of every texel so the
+//!   pipeline's two-level cache model behaves like the hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use gwc_math::Vec4;
+//! use gwc_mem::AddressSpace;
+//! use gwc_texture::{Image, SamplerState, TexFormat, Texture};
+//!
+//! let img = Image::checkerboard(64, 64, 8, [255, 0, 0, 255], [0, 0, 255, 255]);
+//! let mut vram = AddressSpace::new();
+//! let tex = Texture::from_image(&img, TexFormat::Dxt1, true, &mut vram);
+//! assert!(tex.mip_count() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dxt;
+mod format;
+mod image;
+mod sampler;
+mod texture;
+
+pub use format::TexFormat;
+pub use image::Image;
+pub use sampler::{FilterMode, NoopTracker, SampleStats, SamplerState, TexelTracker, WrapMode};
+pub use texture::{Texture, TexelAddress};

@@ -1,0 +1,129 @@
+//! Property tests for the texture substrate.
+
+use gwc_math::Vec4;
+use gwc_mem::AddressSpace;
+use gwc_texture::{dxt, FilterMode, Image, NoopTracker, SampleStats, SamplerState, TexFormat,
+                  Texture, WrapMode};
+use proptest::prelude::*;
+
+fn texel() -> impl Strategy<Value = [u8; 4]> {
+    (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b, a)| [r, g, b, a])
+}
+
+proptest! {
+    /// DXT1 color decode error is bounded: 2-bit palette over the block's
+    /// own color range plus RGB565 quantization.
+    #[test]
+    fn dxt1_error_bounded(texels in prop::collection::vec(texel(), 16)) {
+        let enc = dxt::encode_block(&texels, TexFormat::Dxt1);
+        let dec = dxt::decode_block(&enc, TexFormat::Dxt1);
+        // The palette endpoints are block texels, so every decoded channel
+        // lies within the block's own channel range plus 565 quantization.
+        for ch in 0..3 {
+            let lo = texels.iter().map(|t| t[ch]).min().unwrap() as i32;
+            let hi = texels.iter().map(|t| t[ch]).max().unwrap() as i32;
+            let bound = (hi - lo) + 24;
+            for (orig, got) in texels.iter().zip(dec.iter()) {
+                let err = (orig[ch] as i32 - got[ch] as i32).abs();
+                prop_assert!(err <= bound, "channel {ch}: err {err} > bound {bound}");
+            }
+        }
+    }
+
+    /// DXT5 alpha decode error is within one palette step of the range.
+    #[test]
+    fn dxt5_alpha_error_bounded(alphas in prop::collection::vec(any::<u8>(), 16)) {
+        let a: [u8; 16] = alphas.try_into().unwrap();
+        let dec = dxt::decode_alpha_dxt5(&dxt::encode_alpha_dxt5(&a));
+        let lo = *a.iter().min().unwrap() as i32;
+        let hi = *a.iter().max().unwrap() as i32;
+        let step = ((hi - lo) / 7).max(1) + 1;
+        for (orig, got) in a.iter().zip(dec.iter()) {
+            prop_assert!((*orig as i32 - *got as i32).abs() <= step,
+                "{orig} vs {got} (step {step})");
+        }
+    }
+
+    /// Sampling a solid-color RGBA8 texture returns that color for every
+    /// filter mode, wrap mode and coordinate (filtering is an average).
+    #[test]
+    fn filtering_preserves_constants(
+        r in any::<u8>(), g in any::<u8>(), b in any::<u8>(),
+        u in -3.0f32..3.0, v in -3.0f32..3.0,
+        filter_idx in 0usize..4,
+        wrap_idx in 0usize..3,
+        step in 0.001f32..0.3,
+    ) {
+        let filters = [
+            FilterMode::Nearest,
+            FilterMode::Bilinear,
+            FilterMode::Trilinear,
+            FilterMode::Anisotropic(16),
+        ];
+        let wraps = [WrapMode::Repeat, WrapMode::Clamp, WrapMode::Mirror];
+        let mut vram = AddressSpace::new();
+        let tex = Texture::from_image(&Image::solid(32, 32, [r, g, b, 255]), TexFormat::Rgba8, true, &mut vram);
+        let sampler = SamplerState { wrap: wraps[wrap_idx], filter: filters[filter_idx], lod_bias: 0.0 };
+        let coords = [
+            Vec4::new(u, v, 0.0, 1.0),
+            Vec4::new(u + step, v, 0.0, 1.0),
+            Vec4::new(u, v + step, 0.0, 1.0),
+            Vec4::new(u + step, v + step, 0.0, 1.0),
+        ];
+        let mut stats = SampleStats::default();
+        let out = sampler.sample_quad(&tex, &coords, false, 0.0, [true; 4], &mut NoopTracker, &mut stats);
+        let expect = Vec4::new(r as f32 / 255.0, g as f32 / 255.0, b as f32 / 255.0, 1.0);
+        for lane in 0..4 {
+            let d = out[lane] - expect;
+            prop_assert!(d.dot(d) < 1e-4, "lane {lane}: {:?} vs {expect:?}", out[lane]);
+        }
+        prop_assert_eq!(stats.requests, 4);
+    }
+
+    /// Bilinear cost accounting: nearest/bilinear = 1, trilinear ≤ 2,
+    /// anisotropic ≤ 2×N per request, and ≥ 1 always.
+    #[test]
+    fn bilinear_cost_bounds(
+        max_aniso in 1u8..16,
+        ratio in 1.0f32..40.0,
+        base in 0.0f32..1.0,
+    ) {
+        let mut vram = AddressSpace::new();
+        let tex = Texture::from_image(&Image::noise(128, 128, 5), TexFormat::Dxt1, true, &mut vram);
+        let sampler = SamplerState {
+            wrap: WrapMode::Repeat,
+            filter: FilterMode::Anisotropic(max_aniso),
+            lod_bias: 0.0,
+        };
+        let du = ratio * 2.0 / 128.0;
+        let dv = 2.0 / 128.0;
+        let coords = [
+            Vec4::new(base, base, 0.0, 1.0),
+            Vec4::new(base + du, base, 0.0, 1.0),
+            Vec4::new(base, base + dv, 0.0, 1.0),
+            Vec4::new(base + du, base + dv, 0.0, 1.0),
+        ];
+        let mut stats = SampleStats::default();
+        sampler.sample_quad(&tex, &coords, false, 0.0, [true; 4], &mut NoopTracker, &mut stats);
+        let per_request = stats.bilinear_samples as f64 / stats.requests as f64;
+        prop_assert!(per_request >= 1.0);
+        prop_assert!(per_request <= 2.0 * max_aniso as f64,
+            "cost {per_request} exceeds 2x{max_aniso}");
+    }
+
+    /// Texel addresses stay within each level's allocation and dedupe
+    /// correctly across mips.
+    #[test]
+    fn texel_addresses_consistent(w in 1u32..64, h in 1u32..64) {
+        let mut vram = AddressSpace::new();
+        let tex = Texture::from_image(&Image::solid(w, h, [1, 2, 3, 4]), TexFormat::Dxt5, true, &mut vram);
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..tex.mip_count() {
+            let (lw, lh) = tex.level_dims(level);
+            let a = tex.texel_address(level, 0, 0);
+            let b = tex.texel_address(level, lw - 1, lh - 1);
+            prop_assert!(b.uncompressed >= a.uncompressed);
+            prop_assert!(seen.insert(a.uncompressed), "level base reused");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Shader program synthesis with exact instruction budgets.
+//!
+//! Tables IV and XII characterize games by program length and ALU/TEX mix;
+//! the generators here produce *valid, meaningful* programs of exactly the
+//! requested size: real transforms, real lighting arithmetic, real texture
+//! sampling — so the rendered images and the dynamic statistics are both
+//! plausible.
+
+use gwc_shader::{Instr, Opcode, Program, ProgramKind, Reg, Src, Swizzle, WriteMask};
+
+/// Constant-register layout shared by all generated programs.
+pub mod constants {
+    /// `c0..c3`: rows of the model-view-projection matrix.
+    pub const MVP_ROW0: u8 = 0;
+    /// Light position (vertex) / light color (fragment).
+    pub const LIGHT: u8 = 4;
+    /// Material/base color.
+    pub const MATERIAL: u8 = 5;
+    /// Free filler operands.
+    pub const FILLER_A: u8 = 6;
+    /// Free filler operands.
+    pub const FILLER_B: u8 = 7;
+}
+
+/// Builds a vertex program of exactly `len` instructions.
+///
+/// The first five instructions are the canonical position transform
+/// (4 × `DP4` into `o0`) plus the texcoord copy to `o1`; remaining budget
+/// goes to normal transformation, light-vector setup and filler lighting
+/// arithmetic, ending with writes to varyings `o2`/`o3`.
+///
+/// # Panics
+///
+/// Panics if `len < 5`.
+pub fn vertex_program(name: &str, len: usize) -> Program {
+    assert!(len >= 5, "vertex programs need at least 5 instructions, got {len}");
+    let mut instrs: Vec<Instr> = Vec::with_capacity(len);
+    // Position transform: o0.{x,y,z,w} = dot(c_row, v0).
+    let masks = [
+        WriteMask::X,
+        WriteMask([false, true, false, false]),
+        WriteMask([false, false, true, false]),
+        WriteMask::W,
+    ];
+    for (row, mask) in masks.iter().enumerate() {
+        instrs.push(
+            Instr::dp4(
+                Reg::out(0),
+                Src::constant(constants::MVP_ROW0 + row as u8),
+                Src::input(0),
+            )
+            .masked(*mask),
+        );
+    }
+    // Texcoord varying.
+    instrs.push(Instr::mov(Reg::out(1), Src::input(2)));
+    // Filler lighting setup: alternate meaningful ops on temps, writing the
+    // normal varying (o2) and a light vector (o3) at the end.
+    let filler_ops = [Opcode::Dp3, Opcode::Mad, Opcode::Mul, Opcode::Add, Opcode::Max];
+    let mut i = 0usize;
+    while instrs.len() < len.saturating_sub(2) {
+        let op = filler_ops[i % filler_ops.len()];
+        let dst = Reg::temp((i % 4) as u8);
+        let a = Src::input(1); // normal
+        let b = Src::constant(constants::LIGHT + (i % 2) as u8);
+        let c = Src::temp(((i + 1) % 4) as u8);
+        instrs.push(match op {
+            Opcode::Mad => Instr::mad(dst, a, b, c),
+            Opcode::Dp3 => Instr::dp3(dst, a, b),
+            Opcode::Mul => Instr::mul(dst, a, b),
+            Opcode::Add => Instr::add(dst, a, c),
+            _ => Instr::max(dst, a, c),
+        });
+        i += 1;
+    }
+    if instrs.len() < len {
+        instrs.push(Instr::mov(Reg::out(2), Src::input(1)));
+    }
+    while instrs.len() < len {
+        instrs.push(Instr::mov(Reg::out(3), Src::temp(0)));
+    }
+    Program::new(ProgramKind::Vertex, name, instrs).expect("generated vertex program is valid")
+}
+
+/// Builds a fragment program with exactly `total` instructions of which
+/// `tex` are texture samples, optionally ending fragments below an alpha
+/// threshold with `KIL`.
+///
+/// The program samples units `0..tex` (diffuse, normal map, specular, …)
+/// using the interpolated texcoord (`v0`), combines them with `DP3`/`MAD`
+/// lighting arithmetic against the interpolated normal (`v1`), and writes
+/// the result to `o0` — so the output color genuinely depends on all
+/// sampled textures.
+///
+/// # Panics
+///
+/// Panics if `total < tex + 1`, if `total == 0`, or if `tex > 16`.
+pub fn fragment_program(name: &str, total: usize, tex: usize, kill: bool) -> Program {
+    assert!(total >= 1, "empty fragment program");
+    assert!(tex <= 16, "at most 16 texture units");
+    let min = tex + 1 + usize::from(kill);
+    assert!(total >= min, "{total} instructions cannot fit {tex} TEX + MOV (+KIL)");
+    let mut instrs: Vec<Instr> = Vec::with_capacity(total);
+    // Sample each unit into r0..; r0 accumulates.
+    for u in 0..tex {
+        instrs.push(Instr::tex(Reg::temp(u.min(7) as u8), Src::input(0), u as u8));
+    }
+    if kill {
+        // Kill on negative alpha-minus-threshold.
+        instrs.push(Instr::kil(Src::temp(0).swiz(Swizzle::WWWW)));
+    }
+    // ALU filler: lighting-style arithmetic folding the sampled values.
+    let alu_budget = total - instrs.len() - 1; // reserve the final MOV
+    for i in 0..alu_budget {
+        let dst = Reg::temp((i % 4) as u8);
+        let sampled = Src::temp((i % (tex.max(1)).min(8)) as u8);
+        match i % 4 {
+            0 => instrs.push(Instr::dp3(Reg::temp(4), Src::input(1), Src::constant(constants::LIGHT))),
+            1 => instrs.push(Instr::mad(dst, sampled, Src::temp(4), Src::constant(constants::MATERIAL))),
+            2 => instrs.push(Instr::mul(dst, Src::temp(0), sampled)),
+            _ => instrs.push(Instr::max(dst, Src::temp(0), Src::constant(constants::FILLER_A))),
+        }
+    }
+    instrs.push(Instr::mov(Reg::out(0), Src::temp(0)));
+    Program::new(ProgramKind::Fragment, name, instrs).expect("generated fragment program is valid")
+}
+
+/// A trivial depth-only fragment program (z-prepass / shadow volumes).
+pub fn depth_only_program(name: &str) -> Program {
+    fragment_program(name, 1, 0, false)
+}
+
+/// Splits a fractional target length into `(floor_len, ceil_len, ceil_share)`
+/// so that mixing two program variants batch-wise hits the fractional
+/// average of Tables IV/XII.
+///
+/// ```
+/// let (lo, hi, share) = gwc_workloads::shaders::split_target(12.95, 5);
+/// assert_eq!((lo, hi), (12, 13));
+/// assert!((share - 0.95).abs() < 1e-9);
+/// ```
+pub fn split_target(target: f64, min: usize) -> (usize, usize, f64) {
+    let lo = (target.floor() as usize).max(min);
+    let hi = (lo + 1).max((target.ceil() as usize).max(min));
+    let share = (target - lo as f64).clamp(0.0, 1.0);
+    (lo, hi, share)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_program_exact_lengths() {
+        for len in [5, 6, 8, 17, 20, 24, 28, 38] {
+            let p = vertex_program("vp", len);
+            assert_eq!(p.instruction_count(), len, "len {len}");
+            assert_eq!(p.texture_count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5")]
+    fn vertex_program_too_short_panics() {
+        vertex_program("vp", 3);
+    }
+
+    #[test]
+    fn fragment_program_exact_mix() {
+        for (total, tex) in [(5, 2), (13, 4), (16, 4), (21, 3), (2, 0), (6, 5)] {
+            let p = fragment_program("fp", total, tex, false);
+            assert_eq!(p.instruction_count(), total, "({total},{tex})");
+            assert_eq!(p.texture_count(), tex, "({total},{tex})");
+            assert!(!p.uses_kill());
+        }
+    }
+
+    #[test]
+    fn fragment_program_with_kill() {
+        let p = fragment_program("fp", 8, 2, true);
+        assert_eq!(p.instruction_count(), 8);
+        assert!(p.uses_kill());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn fragment_budget_too_small_panics() {
+        fragment_program("fp", 3, 3, false);
+    }
+
+    #[test]
+    fn depth_only_is_minimal() {
+        let p = depth_only_program("z");
+        assert_eq!(p.instruction_count(), 1);
+        assert_eq!(p.texture_count(), 0);
+    }
+
+    #[test]
+    fn split_target_mixes_to_average() {
+        let (lo, hi, share) = split_target(19.35, 5);
+        let avg = lo as f64 * (1.0 - share) + hi as f64 * share;
+        assert!((avg - 19.35).abs() < 1e-9);
+        // Minimum respected.
+        let (lo, _, _) = split_target(2.0, 5);
+        assert_eq!(lo, 5);
+    }
+
+    #[test]
+    fn generated_programs_execute() {
+        use gwc_math::Vec4;
+        use gwc_shader::{NullSampler, ShaderMachine};
+        let vp = vertex_program("vp", 20);
+        let fp = fragment_program("fp", 13, 4, false);
+        let mut m = ShaderMachine::new();
+        // Identity-ish MVP rows.
+        m.set_constant(0, Vec4::new(1.0, 0.0, 0.0, 0.0));
+        m.set_constant(1, Vec4::new(0.0, 1.0, 0.0, 0.0));
+        m.set_constant(2, Vec4::new(0.0, 0.0, 1.0, 0.0));
+        m.set_constant(3, Vec4::new(0.0, 0.0, 0.0, 1.0));
+        let out = m.run_vertex(&vp, &[Vec4::new(1.0, 2.0, 3.0, 1.0), Vec4::ONE, Vec4::ZERO]);
+        assert_eq!(out[0], Vec4::new(1.0, 2.0, 3.0, 1.0));
+        let empty = [Vec4::ZERO; 2];
+        let ins: [&[Vec4]; 4] = [&empty, &empty, &empty, &empty];
+        let mut fm = ShaderMachine::new();
+        let r = fm.run_fragment_quad(&fp, &ins, [true; 4], &mut NullSampler::default());
+        assert!(r.color[0].x.is_finite());
+        assert_eq!(fm.stats().texture_instructions, 4);
+    }
+}

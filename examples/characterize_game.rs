@@ -1,0 +1,73 @@
+//! Characterize one game timedemo end-to-end, exactly as the paper's
+//! methodology does: generate (in the paper: capture) the API trace, gather
+//! API-level statistics, then drive the GPU simulator for the
+//! microarchitectural ones.
+//!
+//! ```sh
+//! cargo run --release --example characterize_game -- "Doom3/trdemo2"
+//! ```
+
+use gwc::core::{characterize, RunConfig};
+use gwc::mem::MemClient;
+use gwc::workloads::GameProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Doom3/trdemo2".to_string());
+    let Some(profile) = GameProfile::by_name(&name) else {
+        eprintln!("unknown timedemo {name:?}; available:");
+        for p in GameProfile::all() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+
+    let config = RunConfig { api_frames: 120, sim_frames: 3, width: 320, height: 240, seed: 7 };
+    println!("characterizing {} ({} engine, {})...", profile.name, profile.engine, profile.api.name());
+    let result = characterize(profile, &config);
+
+    println!("\n-- API level ({} frames) --", result.api.frames());
+    println!("  batches/frame          : {:.0} (paper: {:.0})",
+        result.api.totals().batches as f64 / result.api.frames() as f64,
+        profile.batches_per_frame());
+    println!("  indices/batch          : {:.0} (paper: {:.0})",
+        result.api.avg_indices_per_batch(), profile.indices_per_batch);
+    println!("  indices/frame          : {:.0} (paper: {:.0})",
+        result.api.avg_indices_per_frame(), profile.indices_per_frame);
+    println!("  vertex shader instr    : {:.2} (paper: {:.2})",
+        result.api.avg_vertex_instructions(), profile.vs_instructions);
+    println!("  fragment instr         : {:.2} (paper: {:.2})",
+        result.api.avg_fragment_instructions(), profile.fs_instructions);
+    println!("  fragment tex instr     : {:.2} (paper: {:.2})",
+        result.api.avg_fragment_tex_instructions(), profile.fs_tex_instructions);
+    println!("  ALU:TEX ratio          : {:.2} (paper: {:.2})",
+        result.api.alu_tex_ratio(), profile.alu_tex_ratio());
+    let (tl, ts, tf) = result.api.primitive_shares();
+    println!("  primitive mix TL/TS/TF : {:.1}%/{:.1}%/{:.1}%", tl * 100.0, ts * 100.0, tf * 100.0);
+
+    let Some(sim) = result.sim else {
+        println!("\n(not in the paper's simulated subset; API statistics only)");
+        return;
+    };
+    let t = sim.stats.totals();
+    println!("\n-- microarchitecture ({} frames at {}x{}) --",
+        sim.stats.frames().len(), sim.width, sim.height);
+    println!("  vertex cache hit rate  : {:.1}%", t.vertex_cache_hit_rate() * 100.0);
+    let (c, k, tr) = t.triangle_fates();
+    println!("  clipped/culled/traversed: {:.0}% / {:.0}% / {:.0}%", c * 100.0, k * 100.0, tr * 100.0);
+    let frames = sim.stats.frames().len() as u64;
+    let (r, z, s, b) = t.overdraw(sim.pixels() * frames);
+    println!("  overdraw r/z/s/b       : {r:.2} / {z:.2} / {s:.2} / {b:.2}");
+    let (hz, zst, alpha, mask, blend) = t.quad_fates();
+    println!("  quad fates             : HZ {:.1}% | z&st {:.1}% | alpha {:.1}% | mask {:.1}% | blend {:.1}%",
+        hz * 100.0, zst * 100.0, alpha * 100.0, mask * 100.0, blend * 100.0);
+    println!("  bilinears per request  : {:.2}", t.bilinears_per_request());
+    println!("  z$ / tex L0 / color$   : {:.1}% / {:.1}% / {:.1}%",
+        sim.z_cache.hit_rate() * 100.0, sim.tex_l0.hit_rate() * 100.0, sim.color_cache.hit_rate() * 100.0);
+    let total = sim.total_traffic();
+    println!("  memory per frame       : {:.1} MB", sim.mean_bytes_per_frame() / (1024.0 * 1024.0));
+    print!("  traffic distribution   :");
+    for client in MemClient::ALL {
+        print!(" {} {:.1}%", client.name(), total.share(client) * 100.0);
+    }
+    println!();
+}

@@ -1,0 +1,174 @@
+//! The Doom3-engine rendering algorithm, by hand: z-prepass, stencil
+//! shadow volumes with z-fail counting, and an additive lighting pass —
+//! the multipass structure responsible for the paper's most striking
+//! results (24× rasterization overdraw, >50% of memory bandwidth spent on
+//! z & stencil).
+//!
+//! ```sh
+//! cargo run --release --example stencil_shadows
+//! ```
+
+use gwc::api::{ClearMask, Command, CommandSink, Indices, StateCommand, VertexLayout};
+use gwc::math::Vec4;
+use gwc::pipeline::{Gpu, GpuConfig};
+use gwc::raster::{BlendFactor, BlendState, CompareFunc, CullMode, DepthState, PrimitiveType,
+                  StencilOp, StencilState};
+use gwc::shader::{Instr, Program, ProgramKind, Reg, Src};
+
+const W: u32 = 256;
+const H: u32 = 192;
+
+/// A z-aligned quad at NDC depth `z`, as two triangles.
+fn quad(id: u32, half: f32, z: f32, gpu: &mut Gpu) {
+    let mut data = Vec::new();
+    for (x, y) in [(-half, -half), (half, -half), (half, half), (-half, half)] {
+        data.push(Vec4::new(x, y, z, 1.0));
+        data.push(Vec4::new(0.0, 0.0, 1.0, 0.0)); // normal
+    }
+    gpu.consume(&Command::CreateVertexBuffer {
+        id,
+        layout: VertexLayout { attributes: 2, stride_bytes: 24 },
+        data,
+    });
+    gpu.consume(&Command::CreateIndexBuffer {
+        id,
+        indices: Indices::U16(vec![0, 1, 2, 0, 2, 3]),
+    });
+}
+
+fn draw(gpu: &mut Gpu, buffer: u32) {
+    gpu.consume(&Command::Draw {
+        vertex_buffer: buffer,
+        index_buffer: buffer,
+        primitive: PrimitiveType::TriangleList,
+        first: 0,
+        count: 6,
+    });
+}
+
+fn main() {
+    let mut gpu = Gpu::new(GpuConfig::r520(W, H));
+
+    // Scene: a floor quad (far) and a shadow volume slab in front of its
+    // right half. The volume's entry face passes the depth test, the exit
+    // face z-fails behind the floor -> net stencil +1 in the shadowed area.
+    quad(0, 0.9, 0.5, &mut gpu); // receiver at depth 0.75
+    quad(1, 0.45, -0.2, &mut gpu); // volume entry (depth 0.4)
+    quad(2, 0.45, 0.9, &mut gpu); // volume exit (depth 0.95, behind receiver)
+
+    let vs = Program::new(
+        ProgramKind::Vertex,
+        "vs",
+        vec![
+            Instr::mov(Reg::out(0), Src::input(0)),
+            Instr::mov(Reg::out(1), Src::input(1)), // normal varying -> v0
+        ],
+    )
+    .unwrap();
+    let fs_depth = Program::new(
+        ProgramKind::Fragment,
+        "depth-only",
+        vec![Instr::mov(Reg::out(0), Src::constant(1))],
+    )
+    .unwrap();
+    let fs_light = Program::new(
+        ProgramKind::Fragment,
+        "light",
+        vec![
+            Instr::dp3(Reg::temp(0), Src::input(0), Src::constant(0)),
+            Instr::mul(Reg::out(0), Src::temp(0), Src::constant(0)),
+        ],
+    )
+    .unwrap();
+    gpu.consume(&Command::CreateProgram { id: 0, program: vs });
+    gpu.consume(&Command::CreateProgram { id: 1, program: fs_depth });
+    gpu.consume(&Command::CreateProgram { id: 2, program: fs_light });
+    gpu.consume(&Command::State(StateCommand::FragmentConstants {
+        base: 0,
+        values: vec![Vec4::new(0.9, 0.8, 0.6, 1.0)],
+    }));
+    gpu.consume(&Command::State(StateCommand::Cull(CullMode::None)));
+
+    gpu.consume(&Command::Clear {
+        mask: ClearMask::ALL,
+        color: Vec4::new(0.0, 0.0, 0.0, 1.0),
+        depth: 1.0,
+        stencil: 0,
+    });
+
+    // --- Pass 1: depth prepass (ambient black) ---
+    gpu.consume(&Command::State(StateCommand::BindPrograms { vertex: 0, fragment: 1 }));
+    gpu.consume(&Command::State(StateCommand::Depth(DepthState::default())));
+    draw(&mut gpu, 0);
+
+    // --- Pass 2: shadow volume, z-fail stencil counting ---
+    let volume_stencil = |zfail| StencilState {
+        test: true,
+        func: CompareFunc::Always,
+        reference: 0,
+        read_mask: 0xff,
+        fail: StencilOp::Keep,
+        zfail,
+        pass: StencilOp::Keep,
+    };
+    gpu.consume(&Command::State(StateCommand::ColorMask(false)));
+    gpu.consume(&Command::State(StateCommand::Depth(DepthState {
+        test: true,
+        write: false,
+        func: CompareFunc::Less,
+    })));
+    gpu.consume(&Command::State(StateCommand::StencilFront(volume_stencil(StencilOp::IncrWrap))));
+    gpu.consume(&Command::State(StateCommand::StencilBack(volume_stencil(StencilOp::IncrWrap))));
+    draw(&mut gpu, 1); // entry face: passes depth, stencil kept
+    draw(&mut gpu, 2); // exit face: z-fails behind the floor, stencil +1
+
+    // --- Pass 3: additive lighting where stencil == 0 ---
+    gpu.consume(&Command::State(StateCommand::ColorMask(true)));
+    gpu.consume(&Command::State(StateCommand::Depth(DepthState {
+        test: true,
+        write: false,
+        func: CompareFunc::Equal,
+    })));
+    let lit = StencilState {
+        test: true,
+        func: CompareFunc::Equal,
+        reference: 0,
+        read_mask: 0xff,
+        fail: StencilOp::Keep,
+        zfail: StencilOp::Keep,
+        pass: StencilOp::Keep,
+    };
+    gpu.consume(&Command::State(StateCommand::StencilFront(lit)));
+    gpu.consume(&Command::State(StateCommand::StencilBack(lit)));
+    gpu.consume(&Command::State(StateCommand::Blend(BlendState {
+        enabled: true,
+        src: BlendFactor::One,
+        dst: BlendFactor::One,
+    })));
+    gpu.consume(&Command::State(StateCommand::BindPrograms { vertex: 0, fragment: 2 }));
+    draw(&mut gpu, 0);
+    gpu.consume(&Command::EndFrame);
+
+    // --- Inspect ---------------------------------------------------------
+    let lit_px = gpu.framebuffer().pixel(W / 4, H / 2); // left half: lit
+    let shadow_px = gpu.framebuffer().pixel(5 * W / 8, H / 2); // right: shadowed
+    println!("lit pixel      = ({:.2}, {:.2}, {:.2})", lit_px.x, lit_px.y, lit_px.z);
+    println!("shadow pixel   = ({:.2}, {:.2}, {:.2})", shadow_px.x, shadow_px.y, shadow_px.z);
+    println!(
+        "stencil values = lit: {}, shadowed: {}",
+        gpu.depth_buffer().stencil_at(W / 4, H / 2),
+        gpu.depth_buffer().stencil_at(5 * W / 8, H / 2)
+    );
+    let f = &gpu.stats().frames()[0];
+    let (hz, zst, _alpha, mask, blend) = f.quad_fates();
+    println!(
+        "quad fates: HZ {:.1}% | z&stencil {:.1}% | color-mask {:.1}% | blended {:.1}%",
+        hz * 100.0,
+        zst * 100.0,
+        mask * 100.0,
+        blend * 100.0
+    );
+    assert!(lit_px.x > 0.1, "left half should be lit");
+    assert!(shadow_px.x < 0.05, "right half should be in shadow");
+    println!("stencil shadow rendered correctly.");
+}
