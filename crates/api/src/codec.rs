@@ -88,24 +88,37 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.buf.len() - self.pos {
             return Err(CodecError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
+    /// Decode-bomb guard: before trusting a length prefix, check the
+    /// payload it promises actually fits in the remaining input. Callers
+    /// may then size allocations from the prefix without a hostile trace
+    /// turning a 4-byte header into a multi-gigabyte `Vec`.
+    fn ensure(&self, bytes: usize) -> Result<(), CodecError> {
+        if bytes > self.buf.len() - self.pos {
+            return Err(CodecError::Truncated);
+        }
+        Ok(())
+    }
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.take(N)?.try_into().map_err(|_| CodecError::Truncated)
+    }
     fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.arr()?))
     }
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
     fn f32(&mut self) -> Result<f32, CodecError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.arr()?))
     }
     fn bool(&mut self) -> Result<bool, CodecError> {
         Ok(self.u8()? != 0)
@@ -129,7 +142,10 @@ macro_rules! enum_codec {
     ($ty:ty, $write:ident, $read:ident, [$($variant:path),+ $(,)?]) => {
         fn $write(w: &mut Writer, v: $ty) {
             let variants = [$($variant),+];
-            let idx = variants.iter().position(|x| *x == v).expect("variant listed");
+            let idx = variants
+                .iter()
+                .position(|x| *x == v)
+                .unwrap_or_else(|| unreachable!("every variant is listed"));
             w.u8(idx as u8);
         }
         fn $read(r: &mut Reader) -> Result<$ty, CodecError> {
@@ -285,6 +301,8 @@ fn r_program(r: &mut Reader) -> Result<Program, CodecError> {
     };
     let name = r.str()?;
     let n = r.u32()? as usize;
+    // 29 bytes per encoded instruction (op + dst + mask + 3 srcs + tex).
+    r.ensure(n.saturating_mul(29))?;
     let mut instrs = Vec::with_capacity(n);
     for _ in 0..n {
         let op = r_op(r)?;
@@ -486,7 +504,8 @@ fn r_state(r: &mut Reader) -> Result<StateCommand, CodecError> {
         10 => {
             let base = r.u8()?;
             let n = r.u32()? as usize;
-            let mut values = Vec::with_capacity(n.min(4096));
+            r.ensure(n.saturating_mul(16))?;
+            let mut values = Vec::with_capacity(n);
             for _ in 0..n {
                 values.push(r.vec4()?);
             }
@@ -495,7 +514,8 @@ fn r_state(r: &mut Reader) -> Result<StateCommand, CodecError> {
         11 => {
             let base = r.u8()?;
             let n = r.u32()? as usize;
-            let mut values = Vec::with_capacity(n.min(4096));
+            r.ensure(n.saturating_mul(16))?;
+            let mut values = Vec::with_capacity(n);
             for _ in 0..n {
                 values.push(r.vec4()?);
             }
@@ -512,7 +532,8 @@ fn r_command(r: &mut Reader) -> Result<Command, CodecError> {
             let attributes = r.u8()?;
             let stride_bytes = r.u16()?;
             let n = r.u32()? as usize;
-            let mut data = Vec::with_capacity(n.min(1 << 22));
+            r.ensure(n.saturating_mul(16))?;
+            let mut data = Vec::with_capacity(n);
             for _ in 0..n {
                 data.push(r.vec4()?);
             }
@@ -528,14 +549,16 @@ fn r_command(r: &mut Reader) -> Result<Command, CodecError> {
             let n = r.u32()? as usize;
             let indices = match wide {
                 0 => {
-                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    r.ensure(n.saturating_mul(2))?;
+                    let mut v = Vec::with_capacity(n);
                     for _ in 0..n {
                         v.push(r.u16()?);
                     }
                     Indices::U16(v)
                 }
                 1 => {
-                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    r.ensure(n.saturating_mul(4))?;
+                    let mut v = Vec::with_capacity(n);
                     for _ in 0..n {
                         v.push(r.u32()?);
                     }
@@ -571,6 +594,35 @@ fn r_command(r: &mut Reader) -> Result<Command, CodecError> {
         7 => Command::EndFrame,
         t => return Err(CodecError::BadTag(t)),
     })
+}
+
+/// Encodes a bare command list (no trace header) — the payload format of
+/// checkpoint resource sections.
+pub fn encode_commands(commands: &[Command]) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.u32(commands.len() as u32);
+    for c in commands {
+        w_command(&mut w, c);
+    }
+    w.buf
+}
+
+/// Decodes a command list produced by [`encode_commands`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncation or malformed records.
+pub fn decode_commands(bytes: &[u8]) -> Result<Vec<Command>, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let n = r.u32()? as usize;
+    let mut commands = Vec::new();
+    for _ in 0..n {
+        commands.push(r_command(&mut r)?);
+    }
+    if !r.done() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(commands)
 }
 
 impl Trace {

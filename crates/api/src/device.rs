@@ -154,11 +154,10 @@ impl Device {
                 self.programs.insert(*id, ());
             }
             Command::State(state) => match state {
-                StateCommand::BindTexture { texture, .. } => {
-                    if !self.textures.contains_key(texture) {
+                StateCommand::BindTexture { texture, .. }
+                    if !self.textures.contains_key(texture) => {
                         return Err(DeviceError::UnknownId("texture", *texture));
                     }
-                }
                 StateCommand::BindPrograms { vertex, fragment } => {
                     if !self.programs.contains_key(vertex) {
                         return Err(DeviceError::UnknownId("program", *vertex));

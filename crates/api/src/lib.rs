@@ -21,14 +21,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod codec;
 mod command;
 mod device;
+mod fault;
 mod stats;
 mod trace;
 
-pub use codec::CodecError;
+pub use codec::{decode_commands, encode_commands, CodecError};
+pub use fault::FaultInjector;
 pub use command::{ClearMask, Command, GraphicsApi, Indices, StateCommand, VertexLayout};
 pub use device::{Device, DeviceError};
 pub use stats::{ApiStats, FrameApiStats};

@@ -42,6 +42,11 @@ impl Trace {
         &self.commands
     }
 
+    /// Mutable access to the commands (fault injection).
+    pub fn commands_mut(&mut self) -> &mut [Command] {
+        &mut self.commands
+    }
+
     /// Number of complete frames (`EndFrame` markers).
     pub fn frame_count(&self) -> usize {
         self.commands.iter().filter(|c| matches!(c, Command::EndFrame)).count()
@@ -69,6 +74,20 @@ impl Trace {
                 if done >= frames {
                     break;
                 }
+            }
+        }
+    }
+
+    /// Replays everything *after* the first `start_frame` frames — the
+    /// complement of [`Trace::replay_frames`], used to resume a replay from
+    /// a frame-boundary checkpoint.
+    pub fn replay_from<S: CommandSink>(&self, start_frame: usize, sink: &mut S) {
+        let mut done = 0;
+        for c in &self.commands {
+            if done >= start_frame {
+                sink.consume(c);
+            } else if matches!(c, Command::EndFrame) {
+                done += 1;
             }
         }
     }

@@ -1,0 +1,93 @@
+//! Property tests for the trace codec's robustness guarantees.
+//!
+//! The codec must uphold three properties against arbitrary input damage:
+//! an unmutated round-trip is bit-exact, a mutated blob *never panics* the
+//! decoder (it may decode to something else — the format is not
+//! error-detecting — but must fail *cleanly* when it fails), and a
+//! truncated blob always errors.
+
+use gwc_api::{ClearMask, Command, Indices, StateCommand, Trace, VertexLayout};
+use gwc_math::Vec4;
+use gwc_raster::PrimitiveType;
+use proptest::prelude::*;
+
+/// A small but representative trace: resource creation, state, constants,
+/// draws and frame boundaries, parameterized so cases differ structurally.
+fn build_trace(vertices: usize, draws: usize, constants: usize) -> Trace {
+    let mut t = Trace::new();
+    let data: Vec<Vec4> =
+        (0..vertices * 2).map(|i| Vec4::new(i as f32, 0.5, -1.0, 1.0)).collect();
+    t.push(Command::CreateVertexBuffer {
+        id: 1,
+        layout: VertexLayout { attributes: 2, stride_bytes: 32 },
+        data,
+    });
+    t.push(Command::CreateIndexBuffer {
+        id: 2,
+        indices: Indices::U16((0..vertices as u16).collect()),
+    });
+    t.push(Command::State(StateCommand::VertexConstants {
+        base: 0,
+        values: vec![Vec4::new(0.25, 0.5, 0.75, 1.0); constants],
+    }));
+    for d in 0..draws {
+        t.push(Command::State(StateCommand::ColorMask(d % 2 == 0)));
+        t.push(Command::Clear {
+            mask: ClearMask::ALL,
+            color: Vec4::new(0.0, 0.0, 0.0, 1.0),
+            depth: 1.0,
+            stencil: 0,
+        });
+        t.push(Command::Draw {
+            vertex_buffer: 1,
+            index_buffer: 2,
+            primitive: PrimitiveType::TriangleList,
+            first: 0,
+            count: vertices as u32,
+        });
+        t.push(Command::EndFrame);
+    }
+    t
+}
+
+proptest! {
+    /// Unmutated round-trip is bit-exact in both directions.
+    #[test]
+    fn roundtrip_is_bit_exact(vertices in 3usize..40, draws in 1usize..6,
+                              constants in 0usize..12) {
+        let trace = build_trace(vertices, draws, constants);
+        let bytes = trace.to_bytes();
+        let decoded = Trace::from_bytes(&bytes);
+        prop_assert!(decoded.is_ok(), "clean blob failed to decode: {:?}", decoded.err());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Flipping one byte anywhere never panics the decoder. (It may still
+    /// decode — a flipped payload bit is indistinguishable from data — but
+    /// whatever happens is a clean `Ok`/`Err`, with no allocation bombs.)
+    #[test]
+    fn single_byte_mutation_never_panics(vertices in 3usize..24, draws in 1usize..4,
+                                         pos_seed in any::<u64>(), bit in 0u8..8) {
+        let trace = build_trace(vertices, draws, 4);
+        let mut bytes = trace.to_bytes();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        match Trace::from_bytes(&bytes) {
+            Ok(_) => {} // flipped a don't-care or payload bit
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Every strict prefix of an encoded trace fails to decode.
+    #[test]
+    fn truncation_always_errors(vertices in 3usize..24, draws in 1usize..4,
+                                cut_seed in any::<u64>()) {
+        let trace = build_trace(vertices, draws, 2);
+        let bytes = trace.to_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Trace::from_bytes(&bytes[..cut]).is_err(),
+                     "prefix of {cut}/{} bytes decoded", bytes.len());
+    }
+}

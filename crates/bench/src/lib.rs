@@ -40,3 +40,20 @@ pub fn emit_demo<S: CommandSink>(name: &str, frames: u32, sink: &mut S) {
     let mut demo = Timedemo::new(profile, TimedemoConfig { frames, seed: 0x5EED });
     demo.emit_all(sink);
 }
+
+/// Records a named timedemo into a replayable [`gwc_api::Trace`].
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table I timedemo.
+pub fn record_trace(name: &str, frames: u32) -> gwc_api::Trace {
+    struct Rec(gwc_api::Device);
+    impl CommandSink for Rec {
+        fn consume(&mut self, c: &gwc_api::Command) {
+            self.0.submit(c.clone()).unwrap_or_else(|e| panic!("generator emitted invalid stream: {e}"));
+        }
+    }
+    let mut rec = Rec(gwc_api::Device::new());
+    emit_demo(name, frames, &mut rec);
+    rec.0.into_trace()
+}

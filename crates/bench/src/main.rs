@@ -7,12 +7,12 @@
 //! cargo run -p gwc-bench --release --bin repro -- ablations
 //! ```
 
+use gwc_api::CommandSink;
 use gwc_core::{figures, run_study, tables, RunConfig, Study};
+use gwc_pipeline::{Gpu, GpuConfig};
 use gwc_stats::Table;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: repro [EXPERIMENT...] [OPTIONS]
+const USAGE: &str = "usage: repro [EXPERIMENT...] [OPTIONS]
 
 experiments:
   all                  every table and figure (default)
@@ -20,6 +20,8 @@ experiments:
   fig1 .. fig8         one figure family (fig4 is a diagram in the paper)
   ablations            design-choice studies (HZ, compression, vertex
                        cache size, filtering level)
+  replay               replay one timedemo through the simulator (see
+                       --game, --checkpoint-every, --resume)
 
 options:
   --paper              full setting: 2000 API frames, 8 simulated frames
@@ -28,8 +30,26 @@ options:
   --api-frames N       API-level frames (default 300)
   --sim-frames N       simulated frames (default 4)
   --res WxH            simulated resolution (default 640x480)
-  --csv                emit CSV instead of aligned tables/charts"
-    );
+  --csv                emit CSV instead of aligned tables/charts
+
+replay options:
+  --game NAME          Table I timedemo to replay (default Doom3/trdemo2)
+  --checkpoint-every N write a GWCK checkpoint every N frames to
+                       repro-<game>-frame<K>.gwck
+  --resume FILE        restore GPU state from a GWCK checkpoint and replay
+                       only the remaining frames; statistics are
+                       bit-identical to an uninterrupted run";
+
+fn help() -> ! {
+    println!("{USAGE}");
+    std::process::exit(0);
+}
+
+/// Reports a malformed invocation on stderr — naming the offending flag
+/// and value — and exits non-zero.
+fn bad_arg(message: String) -> ! {
+    eprintln!("repro: {message}");
+    eprintln!("run 'repro --help' for usage");
     std::process::exit(2);
 }
 
@@ -37,6 +57,9 @@ struct Options {
     experiments: Vec<String>,
     config: RunConfig,
     csv: bool,
+    game: String,
+    checkpoint_every: Option<u32>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -44,35 +67,58 @@ fn parse_args() -> Options {
     let mut config =
         RunConfig { api_frames: 300, sim_frames: 4, width: 640, height: 480, seed: 0x5EED };
     let mut csv = false;
+    let mut game = "Doom3/trdemo2".to_string();
+    let mut checkpoint_every = None;
+    let mut resume = None;
     let mut args = std::env::args().skip(1).peekable();
+
+    // A flag's value: present, or a named complaint.
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next().unwrap_or_else(|| bad_arg(format!("option '{flag}' requires a value")))
+    }
+    fn parse<T: std::str::FromStr>(flag: &str, v: String, expected: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            bad_arg(format!("invalid value '{v}' for '{flag}' (expected {expected})"))
+        })
+    }
+
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--paper" => config = RunConfig::paper(),
             "--quick" => config = RunConfig::quick(),
             "--csv" => csv = true,
             "--api-frames" => {
-                config.api_frames =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                config.api_frames = parse(&arg, value(&mut args, &arg), "a frame count")
             }
             "--sim-frames" => {
-                config.sim_frames =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                config.sim_frames = parse(&arg, value(&mut args, &arg), "a frame count")
             }
             "--res" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                let Some((w, h)) = v.split_once('x') else { usage() };
-                config.width = w.parse().unwrap_or_else(|_| usage());
-                config.height = h.parse().unwrap_or_else(|_| usage());
+                let v = value(&mut args, &arg);
+                let Some((w, h)) = v.split_once('x') else {
+                    bad_arg(format!("invalid value '{v}' for '--res' (expected WxH, e.g. 640x480)"))
+                };
+                config.width = parse(&arg, w.to_string(), "WxH, e.g. 640x480");
+                config.height = parse(&arg, h.to_string(), "WxH, e.g. 640x480");
             }
-            "--help" | "-h" => usage(),
-            e if e.starts_with('-') => usage(),
+            "--game" => game = value(&mut args, &arg),
+            "--checkpoint-every" => {
+                let n: u32 = parse(&arg, value(&mut args, &arg), "a positive frame interval");
+                if n == 0 {
+                    bad_arg("invalid value '0' for '--checkpoint-every' (expected a positive frame interval)".into());
+                }
+                checkpoint_every = Some(n);
+            }
+            "--resume" => resume = Some(value(&mut args, &arg)),
+            "--help" | "-h" => help(),
+            e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
             e => experiments.push(e.to_string()),
         }
     }
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, config, csv }
+    Options { experiments, config, csv, game, checkpoint_every, resume }
 }
 
 fn print_table(t: &Table, csv: bool) {
@@ -279,11 +325,87 @@ fn run_ablations(config: &RunConfig) {
     println!("{}", t.to_ascii());
 }
 
+/// A hardened replay of one timedemo: frame-boundary checkpoints on the
+/// way out, optional resume from one on the way in.
+fn run_replay(options: &Options) {
+    let config = &options.config;
+    let frames = config.sim_frames.max(1);
+    if gwc_workloads::GameProfile::by_name(&options.game).is_none() {
+        bad_arg(format!("invalid value '{}' for '--game' (expected a Table I timedemo)", options.game));
+    }
+    let trace = gwc_bench::record_trace(&options.game, frames);
+    let gpu_config = GpuConfig::r520(config.width, config.height);
+
+    let (mut gpu, start_frame) = match &options.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("repro: cannot read checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            let gpu = Gpu::restore_checkpoint(gpu_config, &bytes).unwrap_or_else(|e| {
+                eprintln!("repro: cannot restore checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            let done = gpu.stats().frames().len();
+            eprintln!("resumed from {path} at frame boundary {done}");
+            (gpu, done)
+        }
+        None => (Gpu::new(gpu_config), 0),
+    };
+
+    let file_stem = options.game.replace(['/', ' '], "_");
+    let mut skipped = 0usize;
+    let mut frame = start_frame;
+    for c in trace.commands() {
+        // Skip everything the checkpoint already accounts for, then feed
+        // the remainder through the infallible replay path.
+        if skipped < start_frame {
+            if matches!(c, gwc_api::Command::EndFrame) {
+                skipped += 1;
+            }
+            continue;
+        }
+        gpu.consume(c);
+        if matches!(c, gwc_api::Command::EndFrame) {
+            frame += 1;
+            if let Some(every) = options.checkpoint_every {
+                if frame % every as usize == 0 && frame < frames as usize {
+                    let path = format!("repro-{file_stem}-frame{frame}.gwck");
+                    let blob = gpu.save_checkpoint();
+                    match std::fs::write(&path, &blob) {
+                        Ok(()) => eprintln!("checkpoint: {path} ({} bytes)", blob.len()),
+                        Err(e) => {
+                            eprintln!("repro: cannot write checkpoint {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let t = gpu.stats().totals();
+    let mut table = Table::new(
+        format!("Replay summary: {} ({} frames at {}x{})", options.game, frame, config.width, config.height),
+        &["metric", "value"],
+    );
+    table.row(vec!["frames simulated".into(), gpu.stats().frames().len().to_string()]);
+    table.row(vec!["indices".into(), t.indices.to_string()]);
+    table.row(vec!["fragments rasterized".into(), t.frags_raster.to_string()]);
+    table.row(vec!["dropped batches".into(), t.dropped_batches.to_string()]);
+    table.row(vec!["dropped frames".into(), t.dropped_frames.to_string()]);
+    table.row(vec!["classified faults".into(), gpu.stats().total_faults().to_string()]);
+    table.row(vec![
+        "first error".into(),
+        gpu.first_error().map_or("none".into(), |e| e.to_string()),
+    ]);
+    println!("{}", table.to_ascii());
+}
+
 fn main() {
     let options = parse_args();
-    let only_ablations =
-        options.experiments.iter().all(|e| e == "ablations");
-    let needs_study = !only_ablations;
+    let needs_study =
+        options.experiments.iter().any(|e| e != "ablations" && e != "replay");
     let study = if needs_study {
         eprintln!(
             "running study: {} API frames, {} simulated frames at {}x{}...",
@@ -301,10 +423,13 @@ fn main() {
             run_ablations(&options.config);
             continue;
         }
+        if experiment == "replay" {
+            run_replay(&options);
+            continue;
+        }
         let study = study.as_ref().expect("study built for table/figure experiments");
         if !run_experiment(study, experiment, options.csv) {
-            eprintln!("unknown experiment {experiment:?}");
-            usage();
+            bad_arg(format!("unknown experiment '{experiment}'"));
         }
     }
 }

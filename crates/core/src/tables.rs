@@ -130,7 +130,7 @@ pub fn table6(_study: &Study) -> Table {
     t
 }
 
-fn simulated_rows<'a>(study: &'a Study) -> impl Iterator<Item = &'a GameCharacterization> {
+fn simulated_rows(study: &Study) -> impl Iterator<Item = &GameCharacterization> {
     study.simulated()
 }
 
@@ -277,7 +277,8 @@ pub fn table14(study: &Study) -> Table {
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new("Table XIV — Cache configuration and hit rate", &headers_ref);
     let cfg = GpuConfig::paper();
-    let caches: [(&str, gwc_mem::CacheConfig, Box<dyn Fn(&crate::SimResults) -> f64>); 4] = [
+    type HitRate = Box<dyn Fn(&crate::SimResults) -> f64>;
+    let caches: [(&str, gwc_mem::CacheConfig, HitRate); 4] = [
         ("Z&Stencil", cfg.z_cache, Box::new(|s| s.z_cache.hit_rate())),
         ("Texture L0", cfg.tex_l0, Box::new(|s| s.tex_l0.hit_rate())),
         ("Texture L1", cfg.tex_l1, Box::new(|s| s.tex_l1.hit_rate())),

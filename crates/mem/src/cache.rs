@@ -89,6 +89,19 @@ struct Line {
     stamp: u64,
 }
 
+/// Externally-visible state of one cache line (checkpoint support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LineState {
+    /// The line's tag (meaningless when not valid).
+    pub tag: u64,
+    /// Whether the line holds data.
+    pub valid: bool,
+    /// Whether the line must be written back on eviction.
+    pub dirty: bool,
+    /// LRU timestamp (larger = more recent).
+    pub stamp: u64,
+}
+
 const EMPTY_LINE: Line = Line { tag: 0, valid: false, dirty: false, stamp: 0 };
 
 /// A set-associative, write-allocate, write-back cache with LRU replacement.
@@ -238,6 +251,39 @@ impl Cache {
         for map in &mut self.index {
             map.clear();
         }
+    }
+
+    /// The complete architectural state — every line, the LRU clock, and
+    /// the statistics — for checkpointing.
+    pub fn snapshot(&self) -> (Vec<LineState>, u64, CacheStats) {
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| LineState { tag: l.tag, valid: l.valid, dirty: l.dirty, stamp: l.stamp })
+            .collect();
+        (lines, self.clock, self.stats)
+    }
+
+    /// Rebuilds a cache from a [`Cache::snapshot`]; the restored cache
+    /// behaves identically to the original from this point on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` does not match the geometry (`ways * sets`).
+    pub fn restore(config: CacheConfig, lines: &[LineState], clock: u64, stats: CacheStats) -> Self {
+        assert_eq!(lines.len(), config.ways * config.sets, "line count mismatch");
+        let mut c = Cache::new(config);
+        c.clock = clock;
+        c.stats = stats;
+        for (i, l) in lines.iter().enumerate() {
+            c.lines[i] = Line { tag: l.tag, valid: l.valid, dirty: l.dirty, stamp: l.stamp };
+            if l.valid {
+                let set = i / config.ways;
+                let way = i % config.ways;
+                c.index[set].insert(l.tag, way);
+            }
+        }
+        c
     }
 }
 

@@ -78,6 +78,16 @@ pub struct FrameTraffic {
 }
 
 impl FrameTraffic {
+    /// Rebuilds a frame from per-client counts in [`MemClient::ALL`] order
+    /// (checkpoint restore).
+    pub fn from_parts(clients: [ClientTraffic; 6]) -> Self {
+        let mut f = FrameTraffic::default();
+        for (c, t) in MemClient::ALL.into_iter().zip(clients) {
+            f.clients[c.index()] = t;
+        }
+        f
+    }
+
     /// Traffic of one client.
     pub fn client(&self, c: MemClient) -> ClientTraffic {
         self.clients[c.index()]
@@ -140,6 +150,31 @@ impl FrameTraffic {
 pub struct MemoryController {
     current: FrameTraffic,
     frames: Vec<FrameTraffic>,
+    injector: Option<ReadFaultInjector>,
+}
+
+/// Deterministic read-corruption model for soak testing: every `read`
+/// transaction flips a seeded coin; a hit marks the data returned to the
+/// client as corrupted. The pipeline polls [`MemoryController::take_injected_faults`]
+/// after each command and classifies hits as memory faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ReadFaultInjector {
+    state: u64,
+    rate_ppm: u32,
+    pending: u64,
+    pending_client: Option<MemClient>,
+    total: u64,
+}
+
+impl ReadFaultInjector {
+    fn next(&mut self) -> u64 {
+        // SplitMix64: tiny, seedable, good enough for a corruption coin.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 impl MemoryController {
@@ -148,9 +183,48 @@ impl MemoryController {
         Self::default()
     }
 
+    /// Arms deterministic read corruption: each read transaction is
+    /// independently corrupted with probability `rate_ppm` per million.
+    /// A `rate_ppm` of 0 disarms the injector.
+    pub fn enable_fault_injection(&mut self, seed: u64, rate_ppm: u32) {
+        self.injector = (rate_ppm > 0).then_some(ReadFaultInjector {
+            state: seed,
+            rate_ppm,
+            pending: 0,
+            pending_client: None,
+            total: 0,
+        });
+    }
+
+    /// Corrupted reads observed since the last poll, as
+    /// `(client name, count)`; clears the pending record.
+    pub fn take_injected_faults(&mut self) -> Option<(&'static str, u64)> {
+        let inj = self.injector.as_mut()?;
+        if inj.pending == 0 {
+            return None;
+        }
+        let count = std::mem::take(&mut inj.pending);
+        let client = inj.pending_client.take().map_or("unknown", MemClient::name);
+        Some((client, count))
+    }
+
+    /// Corrupted reads injected over the controller's lifetime.
+    pub fn injected_faults_total(&self) -> u64 {
+        self.injector.as_ref().map_or(0, |i| i.total)
+    }
+
     /// Records a read of `bytes` by `client`.
     pub fn read(&mut self, client: MemClient, bytes: u64) {
         self.current.clients[client.index()].read += bytes;
+        if bytes > 0 {
+            if let Some(inj) = self.injector.as_mut() {
+                if inj.next() % 1_000_000 < inj.rate_ppm as u64 {
+                    inj.pending += 1;
+                    inj.total += 1;
+                    inj.pending_client.get_or_insert(client);
+                }
+            }
+        }
     }
 
     /// Records a write of `bytes` by `client`.
@@ -173,6 +247,13 @@ impl MemoryController {
     /// Completed frames.
     pub fn frames(&self) -> &[FrameTraffic] {
         &self.frames
+    }
+
+    /// Rebuilds a controller from its completed-frame history (checkpoint
+    /// restore at a frame boundary: the in-flight frame is empty and the
+    /// injector, if any, is re-armed by the caller).
+    pub fn restore(frames: Vec<FrameTraffic>) -> Self {
+        MemoryController { current: FrameTraffic::default(), frames, injector: None }
     }
 
     /// Sum of all completed frames.

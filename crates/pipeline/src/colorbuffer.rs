@@ -83,6 +83,21 @@ impl ColorBuffer {
         self.pixels[self.index(x, y)]
     }
 
+    /// The raw packed surface, row-major (checkpoint support).
+    pub fn raw_pixels(&self) -> &[u32] {
+        &self.pixels
+    }
+
+    /// Rebuilds a buffer from its raw surface (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` does not cover `width × height`.
+    pub fn restore(width: u32, height: u32, pixels: Vec<u32>) -> Self {
+        assert_eq!(pixels.len(), (width * height) as usize, "surface size mismatch");
+        ColorBuffer { width, height, pixels }
+    }
+
     /// Writes a fragment color with blending.
     pub fn write(&mut self, x: u32, y: u32, src: Vec4, blend: &BlendState) {
         let i = self.index(x, y);

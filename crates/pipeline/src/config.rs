@@ -3,6 +3,8 @@
 use gwc_mem::CacheConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::error::FaultPolicy;
+
 /// GPU configuration, defaulting to the ATTILA setup of Table II (matched
 /// to an ATI R520) with the cache geometry of Table XIV.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,6 +45,12 @@ pub struct GpuConfig {
     pub color_cache: CacheConfig,
     /// Bytes of command-processor traffic accounted per API command.
     pub cp_bytes_per_command: u32,
+    /// Reaction to classified replay faults (see [`FaultPolicy`]).
+    pub fault_policy: FaultPolicy,
+    /// VRAM budget for resource allocations; a command pushing the
+    /// allocator past this faults with
+    /// [`crate::SimError::AllocationOverflow`].
+    pub vram_limit_bytes: u64,
 }
 
 impl GpuConfig {
@@ -68,6 +76,9 @@ impl GpuConfig {
             tex_l1: CacheConfig::TEXTURE_L1,
             color_cache: CacheConfig::COLOR,
             cp_bytes_per_command: 32,
+            fault_policy: FaultPolicy::Strict,
+            // The R520 shipped with up to 512 MiB of GDDR3.
+            vram_limit_bytes: 512 << 20,
         }
     }
 

@@ -2,12 +2,13 @@
 
 use std::collections::HashMap;
 
-use gwc_api::{ClearMask, Command, CommandSink, Indices, StateCommand, VertexLayout};
+use gwc_api::{decode_commands, encode_commands, ClearMask, Command, CommandSink, Indices,
+              StateCommand, VertexLayout};
 use gwc_math::Vec4;
 use gwc_mem::compress::{classify_color_block, classify_z_block, BlockState,
                         CompressionDirectory};
-use gwc_mem::{tiled_offset, AccessKind, AddressSpace, Cache, CacheStats, MemClient,
-              MemoryController};
+use gwc_mem::{tiled_offset, AccessKind, AddressSpace, Cache, CacheConfig, CacheStats,
+              ClientTraffic, FrameTraffic, LineState, MemClient, MemoryController};
 use gwc_raster::{clip_near, rasterize, BlendState, ClipResult, CompareFunc, CullMode,
                  DepthStencilBuffer, DepthState, FrontFace, HzBuffer, Quad, RasterStats,
                  ShadedVertex, StencilOp, StencilState, TriangleSetup, Viewport, ZResult,
@@ -15,8 +16,10 @@ use gwc_raster::{clip_near, rasterize, BlendState, ClipResult, CompareFunc, Cull
 use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
 use gwc_texture::{SamplerState, Texture};
 
+use crate::checkpoint::{self, CheckpointError, Dec, Enc, SectionWriter};
 use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
+use crate::error::{FaultPolicy, SimError};
 use crate::stats::{FrameSimStats, SimStats};
 use crate::streamer::VertexCache;
 use crate::texunit::{BoundSampler, TextureUnit};
@@ -98,6 +101,15 @@ pub struct Gpu {
     stats: SimStats,
     vs_prev: ExecStats,
     fs_prev: ExecStats,
+
+    // Fault handling.
+    skip_frame: bool,
+    first_error: Option<SimError>,
+
+    // Checkpoint support: every successful resource-creation command, in
+    // order. Replaying the log through a fresh GPU reproduces the exact
+    // VRAM layout (bump allocation is deterministic).
+    creation_log: Vec<Command>,
 }
 
 impl Gpu {
@@ -144,6 +156,9 @@ impl Gpu {
             stats: SimStats::new(),
             vs_prev: ExecStats::default(),
             fs_prev: ExecStats::default(),
+            skip_frame: false,
+            first_error: None,
+            creation_log: Vec::new(),
             config,
         }
     }
@@ -161,6 +176,13 @@ impl Gpu {
     /// Memory controller (per-frame traffic history).
     pub fn memory(&self) -> &MemoryController {
         &self.mem
+    }
+
+    /// Arms (or with `rate_ppm == 0` disarms) seeded read-corruption fault
+    /// injection on the memory controller. Injected faults surface as
+    /// [`SimError::MemoryFault`] through the configured [`FaultPolicy`].
+    pub fn enable_memory_fault_injection(&mut self, seed: u64, rate_ppm: u32) {
+        self.mem.enable_fault_injection(seed, rate_ppm);
     }
 
     /// Z & stencil cache statistics (Table XIV).
@@ -193,28 +215,83 @@ impl Gpu {
         self.vram.allocated_bytes()
     }
 
+    /// The first classified fault seen by the infallible [`CommandSink`]
+    /// path (regardless of [`FaultPolicy`]); `None` if replay was clean.
+    pub fn first_error(&self) -> Option<&SimError> {
+        self.first_error.as_ref()
+    }
+
+    /// Checks a prospective resource allocation against the VRAM budget.
+    fn check_alloc(&self, requested: u64) -> Result<(), SimError> {
+        let allocated = self.vram.allocated_bytes();
+        if allocated.saturating_add(requested) > self.config.vram_limit_bytes {
+            return Err(SimError::AllocationOverflow {
+                requested,
+                allocated,
+                limit: self.config.vram_limit_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks a constant upload range against the machine's register file.
+    fn check_constants(
+        program: Option<u32>,
+        base: u8,
+        count: usize,
+        limit: usize,
+    ) -> Result<(), SimError> {
+        if base as usize + count > limit {
+            return Err(SimError::ShaderFault {
+                program: program.unwrap_or(u32::MAX),
+                reason: "constant upload past end of register file",
+            });
+        }
+        Ok(())
+    }
+
     // ---- pipeline internals ------------------------------------------
 
     /// Fetches a shaded vertex through the post-transform cache.
-    fn fetch_vertex(&mut self, vb: u32, index: u32, program: &Program) -> ShadedVertex {
+    fn fetch_vertex(
+        &mut self,
+        vb: u32,
+        index: u32,
+        program: &Program,
+    ) -> Result<ShadedVertex, SimError> {
         self.frame.indices += 1;
         if let Some(v) = self.vcache.lookup(index) {
             self.frame.vcache_hits += 1;
-            return v;
+            return Ok(v);
         }
-        let buf = &self.vertex_buffers[&vb];
-        let attrs = buf.layout.attributes as usize;
+        let buf = self.vertex_buffers.get(&vb).ok_or(SimError::UnboundResource {
+            kind: "vertex-buffer",
+            id: vb,
+        })?;
+        let attrs = buf.layout.attributes.max(1) as usize;
         let base = index as usize * attrs;
+        if base + attrs > buf.data.len() {
+            return Err(SimError::IndexOutOfRange {
+                what: "vertex",
+                index: index as u64,
+                limit: (buf.data.len() / attrs) as u64,
+            });
+        }
         let inputs = &buf.data[base..base + attrs];
         // Vertex attribute fetch from GPU memory.
         self.mem.read(MemClient::Vertex, buf.layout.stride_bytes as u64);
         let outputs = self.vs_machine.run_vertex(program, inputs);
+        let clip = outputs[0];
+        if !(clip.x.is_finite() && clip.y.is_finite() && clip.z.is_finite() && clip.w.is_finite())
+        {
+            return Err(SimError::NonFiniteVertex { buffer: vb, index });
+        }
         let mut varyings = [Vec4::ZERO; MAX_VARYINGS];
         varyings.copy_from_slice(&outputs[1..1 + MAX_VARYINGS]);
-        let v = ShadedVertex { clip: outputs[0], varyings };
+        let v = ShadedVertex { clip, varyings };
         self.vcache.insert(index, v);
         self.frame.shaded_vertices += 1;
-        v
+        Ok(v)
     }
 
     /// Z & stencil cache access for one quad; returns nothing but accounts
@@ -276,17 +353,51 @@ impl Gpu {
         primitive: gwc_raster::PrimitiveType,
         first: u32,
         count: u32,
-    ) {
+    ) -> Result<(), SimError> {
         let (Some(vp_id), Some(fp_id)) = (self.bound_vertex, self.bound_fragment) else {
-            return; // no programs bound: draw is ignored
+            return Ok(()); // no programs bound: draw is ignored
         };
-        let vertex_program = self.programs[&vp_id].clone();
-        let fragment_program = self.programs[&fp_id].clone();
-        debug_assert_eq!(vertex_program.kind(), ProgramKind::Vertex);
-        debug_assert_eq!(fragment_program.kind(), ProgramKind::Fragment);
+        let vertex_program = self
+            .programs
+            .get(&vp_id)
+            .ok_or(SimError::UnboundResource { kind: "program", id: vp_id })?
+            .clone();
+        let fragment_program = self
+            .programs
+            .get(&fp_id)
+            .ok_or(SimError::UnboundResource { kind: "program", id: fp_id })?
+            .clone();
+        if vertex_program.kind() != ProgramKind::Vertex {
+            return Err(SimError::ShaderFault {
+                program: vp_id,
+                reason: "bound vertex program is not a vertex program",
+            });
+        }
+        if fragment_program.kind() != ProgramKind::Fragment {
+            return Err(SimError::ShaderFault {
+                program: fp_id,
+                reason: "bound fragment program is not a fragment program",
+            });
+        }
+        if !self.vertex_buffers.contains_key(&vertex_buffer) {
+            return Err(SimError::UnboundResource { kind: "vertex-buffer", id: vertex_buffer });
+        }
 
         // Index fetch traffic (Vertex memory client reads the index list).
-        let bpi = self.index_buffers[&index_buffer].indices.bytes_per_index() as u64;
+        let indices = &self
+            .index_buffers
+            .get(&index_buffer)
+            .ok_or(SimError::UnboundResource { kind: "index-buffer", id: index_buffer })?
+            .indices;
+        let index_len = indices.len() as u64;
+        if first as u64 + count as u64 > index_len {
+            return Err(SimError::IndexOutOfRange {
+                what: "index-range",
+                index: first as u64 + count as u64,
+                limit: index_len,
+            });
+        }
+        let bpi = indices.bytes_per_index() as u64;
         self.mem.read(MemClient::Vertex, bpi * count as u64);
 
         // Early-z legality for this draw.
@@ -312,13 +423,13 @@ impl Gpu {
         let tri_count = primitive.triangle_count(count as usize);
         for t in 0..tri_count {
             let (i0, i1, i2) = primitive.triangle_indices(t);
-            let fetch = |gpu: &mut Gpu, pos: usize| {
+            let fetch = |gpu: &mut Gpu, pos: usize| -> Result<ShadedVertex, SimError> {
                 let idx = gpu.index_buffers[&index_buffer].indices.get(first as usize + pos);
                 gpu.fetch_vertex(vertex_buffer, idx, &vertex_program)
             };
-            let v0 = fetch(self, i0);
-            let v1 = fetch(self, i1);
-            let v2 = fetch(self, i2);
+            let v0 = fetch(self, i0)?;
+            let v1 = fetch(self, i1)?;
+            let v2 = fetch(self, i2)?;
             self.frame.assembled += 1;
 
             match clip_near(&[v0, v1, v2]) {
@@ -326,15 +437,16 @@ impl Gpu {
                     self.frame.clipped += 1;
                 }
                 ClipResult::Accepted => {
-                    self.setup_and_rasterize(&[v0, v1, v2], &fragment_program, early_z_ok, hz_ok, true);
+                    self.setup_and_rasterize(&[v0, v1, v2], &fragment_program, early_z_ok, hz_ok, true)?;
                 }
                 ClipResult::Clipped(tris) => {
                     for tri in &tris {
-                        self.setup_and_rasterize(tri, &fragment_program, early_z_ok, hz_ok, false);
+                        self.setup_and_rasterize(tri, &fragment_program, early_z_ok, hz_ok, false)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     fn setup_and_rasterize(
@@ -344,19 +456,19 @@ impl Gpu {
         early_z_ok: bool,
         hz_ok: bool,
         count_cull: bool,
-    ) {
+    ) -> Result<(), SimError> {
         let Some(setup) = TriangleSetup::new(tri, &self.viewport) else {
             // Degenerate / zero-area: discarded at setup.
             if count_cull {
                 self.frame.culled += 1;
             }
-            return;
+            return Ok(());
         };
         if setup.is_culled(self.cull, self.front_face) {
             if count_cull {
                 self.frame.culled += 1;
             }
-            return;
+            return Ok(());
         }
         self.frame.traversed += 1;
         let front_facing = setup.is_front_facing(self.front_face);
@@ -370,8 +482,9 @@ impl Gpu {
         self.frame.quads_complete_raster += raster_stats.complete_quads;
 
         for quad in &quads {
-            self.process_quad(quad, &setup, fragment_program, &stencil, early_z_ok, hz_ok);
+            self.process_quad(quad, &setup, fragment_program, &stencil, early_z_ok, hz_ok)?;
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -383,7 +496,7 @@ impl Gpu {
         stencil: &StencilState,
         early_z_ok: bool,
         hz_ok: bool,
-    ) {
+    ) -> Result<(), SimError> {
         // --- Hierarchical Z ---
         if hz_ok {
             let mut min_z = f32::INFINITY;
@@ -394,7 +507,7 @@ impl Gpu {
             }
             if !self.hz.test_quad(quad.x, quad.y, min_z, self.depth_state.func, &self.zbuffer) {
                 self.frame.quads_hz_removed += 1;
-                return;
+                return Ok(());
             }
         }
 
@@ -404,7 +517,7 @@ impl Gpu {
         // --- Early Z & stencil ---
         if early_z_ok {
             if !self.run_zstencil(quad, &mut live, stencil) {
-                return;
+                return Ok(());
             }
             // Color writes masked off and all tests already done: the quad
             // is dropped *before* shading (stencil-volume quads reach this
@@ -412,7 +525,7 @@ impl Gpu {
             // excludes them while Table IX counts them as "Color Mask").
             if !self.color_mask {
                 self.frame.quads_colormask += 1;
-                return;
+                return Ok(());
             }
         }
 
@@ -434,14 +547,22 @@ impl Gpu {
                 pool: &self.textures,
                 unit: &mut self.texunit,
                 mem: &mut self.mem,
+                fault: None,
             };
-            self.fs_machine.run_fragment_quad(fragment_program, &input_refs, live, &mut sampler)
+            let r = self
+                .fs_machine
+                .run_fragment_quad(fragment_program, &input_refs, live, &mut sampler);
+            if let Some(fault) = sampler.fault.take() {
+                return Err(fault);
+            }
+            r
         };
         let shaded = live.iter().filter(|&&l| l).count() as u64;
         self.frame.frags_shaded += shaded;
 
         // --- Kill / alpha test ---
         let mut any_removed_by_alpha = false;
+        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
         for lane in 0..4 {
             if !live[lane] {
                 continue;
@@ -462,7 +583,7 @@ impl Gpu {
             if any_removed_by_alpha {
                 self.frame.quads_alpha_removed += 1;
             }
-            return;
+            return Ok(());
         }
 
         // --- Late Z & stencil ---
@@ -473,20 +594,21 @@ impl Gpu {
                 q.depth = depths;
             }
             if !self.run_zstencil_masked(&q, &mut live, stencil) {
-                return;
+                return Ok(());
             }
         }
 
         // --- Color mask ---
         if !self.color_mask {
             self.frame.quads_colormask += 1;
-            return;
+            return Ok(());
         }
 
         // --- Blend & color write ---
         // Write-allocate: the fill covers the blend's destination read too.
         self.color_cache_access(quad.x, quad.y, true);
         let mut written = 0u64;
+        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
         for lane in 0..4 {
             if !live[lane] {
                 continue;
@@ -500,6 +622,7 @@ impl Gpu {
         }
         self.frame.frags_blended += written;
         self.frame.quads_blended += 1;
+        Ok(())
     }
 
     /// Z & stencil for an early-z quad (tests covered lanes).
@@ -532,6 +655,7 @@ impl Gpu {
         let writes = (self.depth_state.test && self.depth_state.write) || stencil.test;
         self.z_cache_access(quad.x, quad.y, writes);
         let mut any_pass = false;
+        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
         for lane in 0..4 {
             if !live[lane] {
                 continue;
@@ -659,34 +783,39 @@ impl Gpu {
     }
 }
 
-impl CommandSink for Gpu {
-    fn consume(&mut self, command: &Command) {
-        // Command processor fetch traffic.
-        self.mem
-            .read(MemClient::CommandProcessor, self.config.cp_bytes_per_command as u64);
+impl Gpu {
+    /// Executes one command; classified faults bubble up as [`SimError`].
+    fn execute(&mut self, command: &Command) -> Result<(), SimError> {
         match command {
             Command::CreateVertexBuffer { id, layout, data } => {
                 let bytes = (data.len() / layout.attributes.max(1) as usize) as u64
                     * layout.stride_bytes as u64;
+                self.check_alloc(bytes.max(1))?;
                 let addr = self.vram.alloc(bytes.max(1), 256);
                 self.vertex_buffers
                     .insert(*id, VertexBufferRes { layout: *layout, data: data.clone(), addr });
                 // Upload: CP writes the buffer into GPU memory.
                 self.mem.write(MemClient::CommandProcessor, bytes);
+                self.creation_log.push(command.clone());
             }
             Command::CreateIndexBuffer { id, indices } => {
                 let bytes = indices.total_bytes();
+                self.check_alloc(bytes.max(1))?;
                 let addr = self.vram.alloc(bytes.max(1), 256);
                 self.index_buffers.insert(*id, IndexBufferRes { indices: indices.clone(), addr });
                 self.mem.write(MemClient::CommandProcessor, bytes);
+                self.creation_log.push(command.clone());
             }
             Command::CreateTexture { id, image, format, mipmaps, sampler } => {
+                self.check_alloc(Texture::footprint_bytes(image, *format, *mipmaps))?;
                 let tex = Texture::from_image(image, *format, *mipmaps, &mut self.vram);
                 self.mem.write(MemClient::CommandProcessor, tex.memory_bytes());
                 self.textures.insert(*id, (tex, *sampler));
+                self.creation_log.push(command.clone());
             }
             Command::CreateProgram { id, program } => {
                 self.programs.insert(*id, program.clone());
+                self.creation_log.push(command.clone());
             }
             Command::State(state) => match state {
                 StateCommand::Depth(d) => self.depth_state = *d,
@@ -711,6 +840,12 @@ impl CommandSink for Gpu {
                     self.bound_fragment = Some(*fragment);
                 }
                 StateCommand::VertexConstants { base, values } => {
+                    Self::check_constants(
+                        self.bound_vertex,
+                        *base,
+                        values.len(),
+                        self.vs_machine.constant_count(),
+                    )?;
                     for (i, v) in values.iter().enumerate() {
                         self.vs_machine.set_constant(*base as usize + i, *v);
                     }
@@ -718,6 +853,12 @@ impl CommandSink for Gpu {
                     self.vcache.invalidate();
                 }
                 StateCommand::FragmentConstants { base, values } => {
+                    Self::check_constants(
+                        self.bound_fragment,
+                        *base,
+                        values.len(),
+                        self.fs_machine.constant_count(),
+                    )?;
                     for (i, v) in values.iter().enumerate() {
                         self.fs_machine.set_constant(*base as usize + i, *v);
                     }
@@ -730,10 +871,427 @@ impl CommandSink for Gpu {
                 // Different draws reference different vertex ranges; the
                 // post-transform cache is index-tagged per buffer, so flush
                 // between draws of different buffers (conservative).
-                self.draw(*vertex_buffer, *index_buffer, *primitive, *first, *count);
+                let r = self.draw(*vertex_buffer, *index_buffer, *primitive, *first, *count);
                 self.vcache.invalidate();
+                r?;
             }
             Command::EndFrame => self.end_frame(),
         }
+        // Injected memory corruption observed while executing this command
+        // classifies the command as faulted.
+        if let Some((client, count)) = self.mem.take_injected_faults() {
+            return Err(SimError::MemoryFault { client, count });
+        }
+        Ok(())
+    }
+
+    /// Executes one command, reporting classified faults.
+    ///
+    /// The configured [`FaultPolicy`] decides what `Err` means for the
+    /// replay: under [`FaultPolicy::Strict`] every fault is surfaced and
+    /// the offending command is dropped; under the lenient policies
+    /// faults are absorbed (`Ok`), counted in [`SimStats`], and work is
+    /// dropped at batch or frame granularity instead.
+    pub fn try_consume(&mut self, command: &Command) -> Result<(), SimError> {
+        if self.skip_frame {
+            if matches!(command, Command::EndFrame) {
+                self.skip_frame = false;
+                // The frame still retires so the run's frame count is
+                // stable under SkipFrame.
+            } else {
+                // Rest of the frame is dropped: no CP fetch, no execution.
+                return Ok(());
+            }
+        }
+        // Command processor fetch traffic.
+        self.mem
+            .read(MemClient::CommandProcessor, self.config.cp_bytes_per_command as u64);
+        match self.execute(command) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.record_fault(e.kind());
+                if self.first_error.is_none() {
+                    self.first_error = Some(e.clone());
+                }
+                match self.config.fault_policy {
+                    FaultPolicy::Strict => Err(e),
+                    FaultPolicy::SkipBatch => {
+                        self.frame.dropped_batches += 1;
+                        Ok(())
+                    }
+                    FaultPolicy::SkipFrame => {
+                        if !matches!(command, Command::EndFrame) {
+                            self.skip_frame = true;
+                        }
+                        self.frame.dropped_frames += 1;
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CommandSink for Gpu {
+    fn consume(&mut self, command: &Command) {
+        // The infallible path: faults are still classified and counted
+        // (see [`Gpu::first_error`]), the command stream keeps flowing.
+        let _ = self.try_consume(command);
+    }
+}
+
+// ---- checkpoint / restart ---------------------------------------------
+
+fn block_state_tag(s: BlockState) -> u8 {
+    match s {
+        BlockState::FastCleared => 0,
+        BlockState::Compressed25 => 1,
+        BlockState::Compressed50 => 2,
+        BlockState::Uncompressed => 3,
+    }
+}
+
+fn block_state_from(tag: u8) -> Result<BlockState, CheckpointError> {
+    Ok(match tag {
+        0 => BlockState::FastCleared,
+        1 => BlockState::Compressed25,
+        2 => BlockState::Compressed50,
+        3 => BlockState::Uncompressed,
+        _ => return Err(CheckpointError::Corrupt("invalid block compression state")),
+    })
+}
+
+fn write_cache(e: &mut Enc, cache: &Cache) {
+    let (lines, clock, stats) = cache.snapshot();
+    e.u32(lines.len() as u32);
+    for l in lines {
+        e.u64(l.tag);
+        e.u8(l.valid as u8 | (l.dirty as u8) << 1);
+        e.u64(l.stamp);
+    }
+    e.u64(clock);
+    e.u64(stats.accesses);
+    e.u64(stats.hits);
+    e.u64(stats.fills);
+    e.u64(stats.writebacks);
+}
+
+fn read_cache(d: &mut Dec<'_>, config: CacheConfig) -> Result<Cache, CheckpointError> {
+    let n = d.u32()? as usize;
+    if n != config.ways * config.sets {
+        return Err(CheckpointError::Corrupt("cache geometry differs from configuration"));
+    }
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = d.u64()?;
+        let flags = d.u8()?;
+        let stamp = d.u64()?;
+        lines.push(LineState { tag, valid: flags & 1 != 0, dirty: flags & 2 != 0, stamp });
+    }
+    let clock = d.u64()?;
+    let stats = CacheStats {
+        accesses: d.u64()?,
+        hits: d.u64()?,
+        fills: d.u64()?,
+        writebacks: d.u64()?,
+    };
+    Ok(Cache::restore(config, &lines, clock, stats))
+}
+
+fn read_opt_u32(d: &mut Dec<'_>) -> Result<Option<u32>, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => None,
+        _ => Some(d.u32()?),
+    })
+}
+
+fn read_exec_stats(d: &mut Dec<'_>) -> Result<ExecStats, CheckpointError> {
+    Ok(ExecStats { instructions: d.u64()?, texture_instructions: d.u64()? })
+}
+
+impl Gpu {
+    /// Serializes the complete GPU state as a `GWCK` checkpoint blob.
+    ///
+    /// Only valid at a frame boundary (immediately after consuming an
+    /// [`Command::EndFrame`]): in-flight per-frame state is then empty by
+    /// construction and is not serialized. A GPU rebuilt from the blob with
+    /// [`Gpu::restore_checkpoint`] replays the remaining trace to
+    /// bit-identical statistics.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        debug_assert_eq!(
+            self.frame,
+            FrameSimStats::default(),
+            "checkpoints are only taken at frame boundaries"
+        );
+        debug_assert!(self.vcache.is_empty(), "vertex cache drains at frame boundaries");
+        debug_assert_eq!(self.vs_prev, *self.vs_machine.stats());
+        debug_assert_eq!(self.fs_prev, *self.fs_machine.stats());
+
+        let mut w = SectionWriter::new();
+
+        // CONF: geometry + allocator fingerprint, validated on restore.
+        let mut conf = Enc::default();
+        conf.u32(self.config.width);
+        conf.u32(self.config.height);
+        conf.u64(self.vram.allocated_bytes());
+        conf.u32(self.stats.frames().len() as u32);
+        w.section(*b"CONF", &conf.buf);
+
+        // RSRC: the resource-creation log (GWCT command records).
+        w.section(*b"RSRC", &encode_commands(&self.creation_log));
+
+        // BIND: raw program bindings, then the remaining bound state as
+        // synthesized state commands replayed through the normal path.
+        let mut bind = Enc::default();
+        for bound in [self.bound_vertex, self.bound_fragment] {
+            match bound {
+                Some(id) => {
+                    bind.u8(1);
+                    bind.u32(id);
+                }
+                None => bind.u8(0),
+            }
+        }
+        let mut states = vec![
+            Command::State(StateCommand::Depth(self.depth_state)),
+            Command::State(StateCommand::StencilFront(self.stencil_front)),
+            Command::State(StateCommand::StencilBack(self.stencil_back)),
+            Command::State(StateCommand::Cull(self.cull)),
+            Command::State(StateCommand::FrontFaceWinding(self.front_face)),
+            Command::State(StateCommand::Blend(self.blend)),
+            Command::State(StateCommand::ColorMask(self.color_mask)),
+            Command::State(StateCommand::AlphaTest {
+                enabled: self.alpha_test.is_some(),
+                reference: self.alpha_test.unwrap_or(0.0),
+            }),
+        ];
+        let mut units: Vec<(u8, u32)> = self.tex_bindings.iter().map(|(&u, &t)| (u, t)).collect();
+        units.sort_unstable();
+        for (unit, texture) in units {
+            states.push(Command::State(StateCommand::BindTexture { unit, texture }));
+        }
+        states.push(Command::State(StateCommand::VertexConstants {
+            base: 0,
+            values: (0..self.vs_machine.constant_count()).map(|i| self.vs_machine.constant(i)).collect(),
+        }));
+        states.push(Command::State(StateCommand::FragmentConstants {
+            base: 0,
+            values: (0..self.fs_machine.constant_count()).map(|i| self.fs_machine.constant(i)).collect(),
+        }));
+        bind.bytes(&encode_commands(&states));
+        w.section(*b"BIND", &bind.buf);
+
+        // STAT: per-frame counters, fault counters, shader exec totals.
+        let mut stat = Enc::default();
+        stat.u32(self.stats.frames().len() as u32);
+        for f in self.stats.frames() {
+            for c in f.to_counters() {
+                stat.u64(c);
+            }
+        }
+        for c in self.stats.raw_fault_counts() {
+            stat.u64(c);
+        }
+        for s in [self.vs_machine.stats(), self.fs_machine.stats()] {
+            stat.u64(s.instructions);
+            stat.u64(s.texture_instructions);
+        }
+        w.section(*b"STAT", &stat.buf);
+
+        // MEMC: per-frame memory traffic history.
+        let mut memc = Enc::default();
+        memc.u32(self.mem.frames().len() as u32);
+        for f in self.mem.frames() {
+            for c in MemClient::ALL {
+                let t = f.client(c);
+                memc.u64(t.read);
+                memc.u64(t.written);
+            }
+        }
+        w.section(*b"MEMC", &memc.buf);
+
+        // FRAM: framebuffer surfaces, HZ, compression directories, caches.
+        let mut fram = Enc::default();
+        for &p in self.colorbuffer.raw_pixels() {
+            fram.u32(p);
+        }
+        let (depth, stencil) = self.zbuffer.planes();
+        for &z in depth {
+            fram.f32(z);
+        }
+        fram.bytes(stencil);
+        let (max_z, dirty, tested, rejected) = self.hz.snapshot();
+        for &z in max_z {
+            fram.f32(z);
+        }
+        for &d in dirty {
+            fram.u8(d as u8);
+        }
+        fram.u64(tested);
+        fram.u64(rejected);
+        for dir in [&self.z_dir, &self.color_dir] {
+            for &s in dir.states() {
+                fram.u8(block_state_tag(s));
+            }
+        }
+        let (l0, l1) = self.texunit.caches();
+        for cache in [&self.z_cache, &self.color_cache, l0, l1] {
+            write_cache(&mut fram, cache);
+        }
+        w.section(*b"FRAM", &fram.buf);
+
+        w.finish()
+    }
+
+    /// Rebuilds a GPU from a [`Gpu::save_checkpoint`] blob.
+    ///
+    /// `config` must match the configuration the checkpoint was taken
+    /// under (resolution and cache geometry are validated). Resources are
+    /// rebuilt by replaying the creation log, which reproduces the exact
+    /// VRAM layout; everything else is restored from the blob. The
+    /// [`gwc_mem::MemoryController`] fault injector is *not* serialized —
+    /// re-arm it after restoring if the run used injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on framing, CRC, or consistency
+    /// failures.
+    pub fn restore_checkpoint(config: GpuConfig, bytes: &[u8]) -> Result<Gpu, CheckpointError> {
+        let sections = checkpoint::read_sections(bytes)?;
+
+        let mut conf = Dec::new(checkpoint::require(&sections, *b"CONF")?);
+        if (conf.u32()?, conf.u32()?) != (config.width, config.height) {
+            return Err(CheckpointError::Corrupt("checkpoint resolution differs from configuration"));
+        }
+        let vram_allocated = conf.u64()?;
+        let frame_count = conf.u32()? as usize;
+
+        let mut gpu = Gpu::new(config);
+
+        // Resources: replay the creation log through the normal execution
+        // path; deterministic bump allocation reproduces every address.
+        let log = decode_commands(checkpoint::require(&sections, *b"RSRC")?)
+            .map_err(|_| CheckpointError::Corrupt("resource log failed to decode"))?;
+        for c in &log {
+            if !matches!(
+                c,
+                Command::CreateVertexBuffer { .. }
+                    | Command::CreateIndexBuffer { .. }
+                    | Command::CreateTexture { .. }
+                    | Command::CreateProgram { .. }
+            ) {
+                return Err(CheckpointError::Corrupt("non-creation command in resource log"));
+            }
+            gpu.execute(c)
+                .map_err(|_| CheckpointError::Corrupt("resource log failed to replay"))?;
+        }
+        if gpu.vram.allocated_bytes() != vram_allocated {
+            return Err(CheckpointError::Corrupt("VRAM layout mismatch after resource replay"));
+        }
+
+        // Bound state.
+        let bind_payload = checkpoint::require(&sections, *b"BIND")?;
+        let mut bind = Dec::new(bind_payload);
+        let bound_vertex = read_opt_u32(&mut bind)?;
+        let bound_fragment = read_opt_u32(&mut bind)?;
+        let states = decode_commands(bind.rest())
+            .map_err(|_| CheckpointError::Corrupt("bound state failed to decode"))?;
+        for c in &states {
+            if !matches!(c, Command::State(_)) {
+                return Err(CheckpointError::Corrupt("non-state command in bound-state log"));
+            }
+            gpu.execute(c)
+                .map_err(|_| CheckpointError::Corrupt("bound state failed to replay"))?;
+        }
+        gpu.bound_vertex = bound_vertex;
+        gpu.bound_fragment = bound_fragment;
+        gpu.vcache.invalidate();
+
+        // Statistics.
+        let mut stat = Dec::new(checkpoint::require(&sections, *b"STAT")?);
+        let n = stat.u32()? as usize;
+        if n != frame_count {
+            return Err(CheckpointError::Corrupt("frame count disagrees between sections"));
+        }
+        let mut frames = Vec::with_capacity(n);
+        let mut counters = vec![0u64; FrameSimStats::FIELD_COUNT];
+        for _ in 0..n {
+            for c in counters.iter_mut() {
+                *c = stat.u64()?;
+            }
+            frames.push(FrameSimStats::from_counters(&counters));
+        }
+        let mut faults = [0u64; 6];
+        for f in &mut faults {
+            *f = stat.u64()?;
+        }
+        gpu.stats = SimStats::restore(frames, faults);
+        let vs = read_exec_stats(&mut stat)?;
+        let fs = read_exec_stats(&mut stat)?;
+        gpu.vs_machine.restore_stats(vs);
+        gpu.fs_machine.restore_stats(fs);
+        gpu.vs_prev = vs;
+        gpu.fs_prev = fs;
+
+        // Memory traffic history.
+        let mut memc = Dec::new(checkpoint::require(&sections, *b"MEMC")?);
+        let n = memc.u32()? as usize;
+        let mut mem_frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut clients = [ClientTraffic::default(); 6];
+            for c in &mut clients {
+                c.read = memc.u64()?;
+                c.written = memc.u64()?;
+            }
+            mem_frames.push(FrameTraffic::from_parts(clients));
+        }
+        gpu.mem = MemoryController::restore(mem_frames);
+
+        // Framebuffer state.
+        let mut fram = Dec::new(checkpoint::require(&sections, *b"FRAM")?);
+        let n_px = (config.width * config.height) as usize;
+        let mut pixels = Vec::with_capacity(n_px);
+        for _ in 0..n_px {
+            pixels.push(fram.u32()?);
+        }
+        gpu.colorbuffer = ColorBuffer::restore(config.width, config.height, pixels);
+        let mut depth = Vec::with_capacity(n_px);
+        for _ in 0..n_px {
+            depth.push(fram.f32()?);
+        }
+        let stencil = fram.take(n_px)?.to_vec();
+        gpu.zbuffer = DepthStencilBuffer::restore(config.width, config.height, depth, stencil);
+        let n_blocks = (config.width.div_ceil(8) * config.height.div_ceil(8)) as usize;
+        let mut max_z = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            max_z.push(fram.f32()?);
+        }
+        let mut dirty = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            dirty.push(fram.u8()? != 0);
+        }
+        let tested = fram.u64()?;
+        let rejected = fram.u64()?;
+        gpu.hz =
+            HzBuffer::restore(config.width, config.height, max_z, dirty, tested, rejected);
+        let read_dir = |fram: &mut Dec<'_>| -> Result<CompressionDirectory, CheckpointError> {
+            let mut states = Vec::with_capacity(n_blocks);
+            for _ in 0..n_blocks {
+                states.push(block_state_from(fram.u8()?)?);
+            }
+            Ok(CompressionDirectory::restore(config.width, config.height, states))
+        };
+        gpu.z_dir = read_dir(&mut fram)?;
+        gpu.color_dir = read_dir(&mut fram)?;
+        gpu.z_cache = read_cache(&mut fram, config.z_cache)?;
+        gpu.color_cache = read_cache(&mut fram, config.color_cache)?;
+        let l0 = read_cache(&mut fram, config.tex_l0)?;
+        let l1 = read_cache(&mut fram, config.tex_l1)?;
+        gpu.texunit.restore_caches(l0, l1);
+        if !fram.done() {
+            return Err(CheckpointError::Corrupt("trailing bytes in framebuffer section"));
+        }
+
+        Ok(gpu)
     }
 }

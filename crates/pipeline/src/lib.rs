@@ -27,16 +27,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod checkpoint;
 mod colorbuffer;
 mod config;
+mod error;
 mod gpu;
 mod stats;
 mod streamer;
 mod texunit;
 
+pub use checkpoint::CheckpointError;
 pub use colorbuffer::ColorBuffer;
 pub use config::GpuConfig;
+pub use error::{FaultKind, FaultPolicy, SimError};
 pub use gpu::Gpu;
 pub use stats::{FrameSimStats, SimStats};
 pub use streamer::VertexCache;

@@ -61,6 +61,13 @@ impl VertexCache {
         self.next_evict = 0;
     }
 
+    /// Whether the cache holds no entries. The pipeline invalidates after
+    /// every draw, so this always holds at frame boundaries — which is what
+    /// lets checkpoints skip serializing cache contents.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Lookups performed.
     pub fn lookups(&self) -> u64 {
         self.lookups

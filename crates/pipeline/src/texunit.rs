@@ -7,6 +7,7 @@ use gwc_mem::{AccessKind, Cache, MemClient, MemoryController};
 use gwc_shader::{QuadSampler, TextureRequest};
 use gwc_texture::{SampleStats, SamplerState, TexelAddress, TexelTracker, Texture};
 use crate::config::GpuConfig;
+use crate::error::SimError;
 
 /// The texture unit's cache hierarchy and filtering statistics.
 ///
@@ -56,6 +57,17 @@ impl TextureUnit {
         self.l0.reset_stats();
         self.l1.reset_stats();
     }
+
+    /// The L0 and L1 caches (checkpoint serialization).
+    pub(crate) fn caches(&self) -> (&Cache, &Cache) {
+        (&self.l0, &self.l1)
+    }
+
+    /// Replaces the L0 and L1 caches (checkpoint restore).
+    pub(crate) fn restore_caches(&mut self, l0: Cache, l1: Cache) {
+        self.l0 = l0;
+        self.l1 = l1;
+    }
 }
 
 /// Tracker wiring filter texel fetches through L0 → L1 → memory.
@@ -85,6 +97,10 @@ pub(crate) struct BoundSampler<'a> {
     pub pool: &'a HashMap<u32, (Texture, SamplerState)>,
     pub unit: &'a mut TextureUnit,
     pub mem: &'a mut MemoryController,
+    /// First unbound-texture fault hit during shading; the shader keeps
+    /// running on the debug color, the pipeline classifies the quad after
+    /// the program returns.
+    pub fault: Option<SimError>,
 }
 
 impl QuadSampler for BoundSampler<'_> {
@@ -92,9 +108,15 @@ impl QuadSampler for BoundSampler<'_> {
         let Some(id) = self.bindings.get(&request.unit) else {
             // Unbound unit: GL returns opaque black-ish undefined; use a
             // recognizable debug magenta.
+            self.fault.get_or_insert(SimError::UnboundResource {
+                kind: "texture-unit",
+                id: request.unit as u32,
+            });
             return [Vec4::new(1.0, 0.0, 1.0, 1.0); 4];
         };
         let Some((texture, sampler)) = self.pool.get(id) else {
+            self.fault
+                .get_or_insert(SimError::UnboundResource { kind: "texture", id: *id });
             return [Vec4::new(1.0, 0.0, 1.0, 1.0); 4];
         };
         let mut tracker =
@@ -117,7 +139,9 @@ mod tests {
     use gwc_mem::AddressSpace;
     use gwc_texture::{FilterMode, Image, TexFormat, WrapMode};
 
-    fn setup() -> (TextureUnit, MemoryController, HashMap<u8, u32>, HashMap<u32, (Texture, SamplerState)>) {
+    type TexturePool = HashMap<u32, (Texture, SamplerState)>;
+
+    fn setup() -> (TextureUnit, MemoryController, HashMap<u8, u32>, TexturePool) {
         let config = GpuConfig::r520(64, 64);
         let unit = TextureUnit::new(&config);
         let mem = MemoryController::new();
@@ -147,7 +171,7 @@ mod tests {
     fn sampling_generates_cache_traffic() {
         let (mut unit, mut mem, bindings, pool) = setup();
         {
-            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem };
+            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem, fault: None };
             s.sample_quad(&quad_request(0.5, 0.5));
         }
         assert!(unit.l0_stats().accesses >= 16, "4 lanes x 4 texels");
@@ -158,7 +182,7 @@ mod tests {
     fn repeated_sampling_hits_l0() {
         let (mut unit, mut mem, bindings, pool) = setup();
         for _ in 0..50 {
-            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem };
+            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem, fault: None };
             s.sample_quad(&quad_request(0.5, 0.5));
         }
         assert!(unit.l0_stats().hit_rate() > 0.9, "hit rate {}", unit.l0_stats().hit_rate());
@@ -174,7 +198,7 @@ mod tests {
         for pass in 0..2 {
             for y in 0..16 {
                 for x in 0..16 {
-                    let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem };
+                    let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem, fault: None };
                     s.sample_quad(&quad_request(x as f32 / 16.0, y as f32 / 16.0));
                 }
             }
@@ -190,9 +214,10 @@ mod tests {
     fn unbound_unit_returns_magenta() {
         let (mut unit, mut mem, _bindings, pool) = setup();
         let empty = HashMap::new();
-        let mut s = BoundSampler { bindings: &empty, pool: &pool, unit: &mut unit, mem: &mut mem };
+        let mut s = BoundSampler { bindings: &empty, pool: &pool, unit: &mut unit, mem: &mut mem, fault: None };
         let out = s.sample_quad(&quad_request(0.5, 0.5));
         assert_eq!(out[0], Vec4::new(1.0, 0.0, 1.0, 1.0));
+        assert!(matches!(s.fault, Some(SimError::UnboundResource { kind: "texture-unit", .. })));
     }
 
     #[test]
@@ -201,7 +226,7 @@ mod tests {
         let mut req = quad_request(0.5, 0.5);
         req.active = [false; 4];
         {
-            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem };
+            let mut s = BoundSampler { bindings: &bindings, pool: &pool, unit: &mut unit, mem: &mut mem, fault: None };
             s.sample_quad(&req);
         }
         assert_eq!(unit.l0_stats().accesses, 0);

@@ -1,0 +1,186 @@
+//! Fault-policy semantics: how classified errors flow through
+//! `try_consume` under each [`FaultPolicy`].
+
+use gwc_api::{ClearMask, Command, CommandSink, Indices, StateCommand, VertexLayout};
+use gwc_math::Vec4;
+use gwc_pipeline::{FaultPolicy, Gpu, GpuConfig, SimError};
+use gwc_raster::{CullMode, PrimitiveType};
+use gwc_shader::{Instr, Program, ProgramKind, Reg, Src};
+
+const W: u32 = 64;
+const H: u32 = 64;
+
+fn passthrough_vs() -> Program {
+    Program::new(ProgramKind::Vertex, "vs", vec![Instr::mov(Reg::out(0), Src::input(0))])
+        .unwrap()
+}
+
+fn flat_fs() -> Program {
+    Program::new(ProgramKind::Fragment, "fs", vec![Instr::mov(Reg::out(0), Src::constant(0))])
+        .unwrap()
+}
+
+fn gpu_with(policy: FaultPolicy) -> Gpu {
+    let mut config = GpuConfig::r520(W, H);
+    config.fault_policy = policy;
+    let mut gpu = Gpu::new(config);
+    let quad: Vec<Vec4> = [(-0.8f32, -0.8f32), (0.8, -0.8), (0.8, 0.8), (-0.8, 0.8)]
+        .iter()
+        .map(|&(x, y)| Vec4::new(x, y, 0.0, 1.0))
+        .collect();
+    gpu.consume(&Command::CreateVertexBuffer {
+        id: 0,
+        layout: VertexLayout { attributes: 1, stride_bytes: 16 },
+        data: quad,
+    });
+    gpu.consume(&Command::CreateIndexBuffer {
+        id: 0,
+        indices: Indices::U16(vec![0, 1, 2, 0, 2, 3]),
+    });
+    gpu.consume(&Command::CreateProgram { id: 0, program: passthrough_vs() });
+    gpu.consume(&Command::CreateProgram { id: 1, program: flat_fs() });
+    gpu.consume(&Command::State(StateCommand::Cull(CullMode::None)));
+    gpu.consume(&Command::State(StateCommand::BindPrograms { vertex: 0, fragment: 1 }));
+    gpu.consume(&Command::State(StateCommand::FragmentConstants {
+        base: 0,
+        values: vec![Vec4::new(1.0, 1.0, 1.0, 1.0)],
+    }));
+    gpu
+}
+
+fn clear() -> Command {
+    Command::Clear {
+        mask: ClearMask::ALL,
+        color: Vec4::new(0.0, 0.0, 0.0, 1.0),
+        depth: 1.0,
+        stencil: 0,
+    }
+}
+
+fn draw(vertex_buffer: u32, count: u32) -> Command {
+    Command::Draw {
+        vertex_buffer,
+        index_buffer: 0,
+        primitive: PrimitiveType::TriangleList,
+        first: 0,
+        count,
+    }
+}
+
+#[test]
+fn strict_surfaces_the_first_error() {
+    let mut gpu = gpu_with(FaultPolicy::Strict);
+    gpu.try_consume(&clear()).unwrap();
+    // Faulty batch: vertex buffer 9 was never created.
+    let err = gpu.try_consume(&draw(9, 6)).unwrap_err();
+    assert!(
+        matches!(err, SimError::UnboundResource { kind: "vertex-buffer", id: 9 }),
+        "wrong classification: {err}"
+    );
+    // The error is retained as the replay's first error even though the
+    // caller already saw it.
+    assert!(matches!(
+        gpu.first_error(),
+        Some(SimError::UnboundResource { kind: "vertex-buffer", id: 9 })
+    ));
+    // A later, different fault does not overwrite the first one.
+    let _ = gpu.try_consume(&draw(0, 9999));
+    assert!(matches!(
+        gpu.first_error(),
+        Some(SimError::UnboundResource { kind: "vertex-buffer", id: 9 })
+    ));
+}
+
+#[test]
+fn skip_batch_drops_exactly_the_faulty_batch() {
+    let mut clean = gpu_with(FaultPolicy::SkipBatch);
+    clean.try_consume(&clear()).unwrap();
+    clean.try_consume(&draw(0, 6)).unwrap();
+    clean.try_consume(&Command::EndFrame).unwrap();
+    let clean_frags = clean.stats().totals().frags_raster;
+    assert!(clean_frags > 0, "the good batch renders fragments");
+
+    let mut gpu = gpu_with(FaultPolicy::SkipBatch);
+    gpu.try_consume(&clear()).unwrap();
+    // Good batch, faulty batch (out-of-range index count), good batch.
+    gpu.try_consume(&draw(0, 6)).unwrap();
+    gpu.try_consume(&draw(0, 9999)).expect("SkipBatch converts the fault to Ok");
+    gpu.try_consume(&draw(0, 6)).unwrap();
+    gpu.try_consume(&Command::EndFrame).unwrap();
+
+    let t = gpu.stats().totals();
+    assert_eq!(t.dropped_batches, 1, "exactly the faulty batch is dropped");
+    assert_eq!(t.dropped_frames, 0);
+    assert_eq!(
+        t.frags_raster,
+        2 * clean_frags,
+        "the two good batches still render in full"
+    );
+    assert_eq!(gpu.stats().frames().len(), 1, "the frame still completes");
+    assert!(matches!(gpu.first_error(), Some(SimError::IndexOutOfRange { .. })));
+    assert_eq!(gpu.stats().total_faults(), 1);
+}
+
+#[test]
+fn skip_frame_drops_the_rest_of_the_frame() {
+    let mut gpu = gpu_with(FaultPolicy::SkipFrame);
+    gpu.try_consume(&clear()).unwrap();
+    gpu.try_consume(&draw(0, 6)).unwrap();
+    gpu.try_consume(&draw(9, 6)).expect("SkipFrame converts the fault to Ok");
+    let before = gpu.memory().current_frame().total();
+    // Subsequent work in the frame is discarded without even command-
+    // processor fetch traffic (the faulting command itself still paid its
+    // CP fetch before it was classified).
+    gpu.try_consume(&draw(0, 6)).unwrap();
+    gpu.try_consume(&clear()).unwrap();
+    let after = gpu.memory().current_frame().total();
+    assert_eq!(before, after, "skipped commands generate no memory traffic");
+    gpu.try_consume(&Command::EndFrame).unwrap();
+    assert_eq!(gpu.stats().frames().len(), 1, "EndFrame still closes the frame");
+    assert_eq!(gpu.stats().totals().dropped_frames, 1);
+
+    // The next frame renders normally again.
+    gpu.try_consume(&clear()).unwrap();
+    gpu.try_consume(&draw(0, 6)).unwrap();
+    gpu.try_consume(&Command::EndFrame).unwrap();
+    assert_eq!(gpu.stats().frames().len(), 2);
+    assert!(gpu.stats().frames()[1].frags_raster > 0);
+}
+
+#[test]
+fn policies_are_deterministic_across_runs() {
+    // The same faulty stream replayed repeatedly under each policy
+    // produces identical totals every time.
+    for policy in [FaultPolicy::Strict, FaultPolicy::SkipBatch, FaultPolicy::SkipFrame] {
+        let run = || {
+            let mut gpu = gpu_with(policy);
+            for _ in 0..3 {
+                gpu.consume(&clear());
+                gpu.consume(&draw(0, 6));
+                gpu.consume(&draw(7, 6)); // unbound vertex buffer
+                gpu.consume(&draw(0, 10_000)); // out-of-range indices
+                gpu.consume(&draw(0, 6));
+                gpu.consume(&Command::EndFrame);
+            }
+            gpu.stats().clone()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{policy:?} diverged across identical runs");
+        assert_eq!(a.frames().len(), 3, "{policy:?}: the infallible path completes frames");
+        assert!(a.total_faults() > 0, "{policy:?}: faults are classified and counted");
+    }
+}
+
+#[test]
+fn fault_counters_classify_by_kind() {
+    let mut gpu = gpu_with(FaultPolicy::SkipBatch);
+    gpu.consume(&clear());
+    gpu.consume(&draw(9, 6)); // unbound resource
+    gpu.consume(&draw(0, 10_000)); // index out of range
+    gpu.consume(&Command::EndFrame);
+    assert_eq!(gpu.stats().total_faults(), 2);
+    let by_kind = gpu.stats().fault_counts();
+    assert!(by_kind.iter().any(|(k, n)| k.name() == "unbound-resource" && *n == 1));
+    assert!(by_kind.iter().any(|(k, n)| k.name() == "index-out-of-range" && *n == 1));
+}

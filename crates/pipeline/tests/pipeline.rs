@@ -6,7 +6,7 @@ use gwc_mem::MemClient;
 use gwc_pipeline::{Gpu, GpuConfig};
 use gwc_raster::{BlendFactor, BlendState, CompareFunc, CullMode, DepthState, PrimitiveType,
                  StencilOp, StencilState};
-use gwc_shader::{Instr, Program, ProgramKind, Reg, Src, WriteMask};
+use gwc_shader::{Instr, Program, ProgramKind, Reg, Src};
 use gwc_texture::{FilterMode, Image, SamplerState, TexFormat, WrapMode};
 
 const W: u32 = 128;

@@ -56,6 +56,38 @@ impl HzBuffer {
         self.dirty[i] = true;
     }
 
+    /// The complete state — per-block max depth, dirty flags, and the
+    /// test/reject counters — for checkpointing.
+    pub fn snapshot(&self) -> (&[f32], &[bool], u64, u64) {
+        (&self.max_z, &self.dirty, self.tested, self.rejected)
+    }
+
+    /// Rebuilds an HZ buffer from a [`HzBuffer::snapshot`] (checkpoint
+    /// restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block arrays do not cover the surface.
+    pub fn restore(
+        width: u32,
+        height: u32,
+        max_z: Vec<f32>,
+        dirty: Vec<bool>,
+        tested: u64,
+        rejected: u64,
+    ) -> Self {
+        let mut hz = HzBuffer::new(width, height);
+        assert!(
+            max_z.len() == hz.max_z.len() && dirty.len() == hz.dirty.len(),
+            "block count mismatch"
+        );
+        hz.max_z = max_z;
+        hz.dirty = dirty;
+        hz.tested = tested;
+        hz.rejected = rejected;
+        hz
+    }
+
     /// Tests a quad at `(x, y)` whose minimum incoming depth is `min_z`.
     ///
     /// Returns `false` when the quad is *provably* invisible (every

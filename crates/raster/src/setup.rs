@@ -138,6 +138,7 @@ impl TriangleSetup {
         let x = px as f64 + 0.5;
         let y = py as f64 + 0.5;
         let e = self.edges_at(x, y);
+        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
         for i in 0..3 {
             if e[i] < 0.0 {
                 return false;
@@ -175,6 +176,7 @@ impl TriangleSetup {
         let w = self.barycentric(px as f64 + 0.5, py as f64 + 0.5);
         let mut num = Vec4::ZERO;
         let mut den = 0f32;
+        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
         for i in 0..3 {
             let wi = w[i] as f32 * self.inv_w[i];
             num += self.varyings[i][idx] * wi;

@@ -38,7 +38,7 @@ impl PrimitiveType {
         match self {
             PrimitiveType::TriangleList => (3 * t, 3 * t + 1, 3 * t + 2),
             PrimitiveType::TriangleStrip => {
-                if t % 2 == 0 {
+                if t.is_multiple_of(2) {
                     (t, t + 1, t + 2)
                 } else {
                     (t + 1, t, t + 2)

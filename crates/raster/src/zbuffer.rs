@@ -91,6 +91,22 @@ impl DepthStencilBuffer {
         self.stencil[self.index(x, y)]
     }
 
+    /// The raw depth and stencil planes, row-major (checkpoint support).
+    pub fn planes(&self) -> (&[f32], &[u8]) {
+        (&self.depth, &self.stencil)
+    }
+
+    /// Rebuilds a buffer from its planes (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plane does not cover `width × height` pixels.
+    pub fn restore(width: u32, height: u32, depth: Vec<f32>, stencil: Vec<u8>) -> Self {
+        let n = (width * height) as usize;
+        assert!(depth.len() == n && stencil.len() == n, "plane size mismatch");
+        DepthStencilBuffer { width, height, depth, stencil }
+    }
+
     /// Runs the combined stencil + depth test for a fragment at `(x, y)`
     /// with incoming depth `z`, applying stencil ops and the depth write
     /// exactly per the GL pipeline:

@@ -116,6 +116,11 @@ impl ShaderMachine {
         self.constants[i]
     }
 
+    /// Size of the constant register file.
+    pub fn constant_count(&self) -> usize {
+        self.constants.len()
+    }
+
     /// Accumulated execution statistics.
     pub fn stats(&self) -> &ExecStats {
         &self.stats
@@ -124,6 +129,11 @@ impl ShaderMachine {
     /// Resets accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats = ExecStats::default();
+    }
+
+    /// Overwrites the accumulated statistics (checkpoint restore).
+    pub fn restore_stats(&mut self, stats: ExecStats) {
+        self.stats = stats;
     }
 
     /// Runs a vertex program on one vertex.
@@ -191,15 +201,15 @@ impl ShaderMachine {
                         active,
                     };
                     let texels = sampler.sample_quad(&req);
-                    for lane in 0..4 {
-                        lanes.write(lane, instr, texels[lane]);
+                    for (lane, &texel) in texels.iter().enumerate() {
+                        lanes.write(lane, instr, texel);
                     }
                 }
                 Opcode::Kil => {
-                    for lane in 0..4 {
+                    for (lane, kill) in killed.iter_mut().enumerate() {
                         let v = lanes.read(lane, instr.srcs[0], &self.constants);
                         if v.x < 0.0 || v.y < 0.0 || v.z < 0.0 || v.w < 0.0 {
-                            killed[lane] = true;
+                            *kill = true;
                         }
                     }
                 }

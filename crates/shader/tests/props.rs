@@ -116,8 +116,8 @@ proptest! {
         let rows: Vec<[Vec4; 1]> = vals.iter().map(|&v| [v]).collect();
         let inputs: [&[Vec4]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
         let result = machine.run_fragment_quad(&program, &inputs, [true; 4], &mut NullSampler::default());
-        for lane in 0..4 {
-            let expect = vals[lane] * 2.0 + Vec4::splat(1.0);
+        for (lane, &val) in vals.iter().enumerate() {
+            let expect = val * 2.0 + Vec4::splat(1.0);
             let diff = result.color[lane] - expect;
             prop_assert!(diff.dot(diff) < 1e-6, "lane {lane}");
         }
@@ -140,8 +140,8 @@ proptest! {
             alpha.iter().map(|&a| [Vec4::new(a, 0.0, 0.0, 0.0)]).collect();
         let inputs: [&[Vec4]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
         let result = machine.run_fragment_quad(&program, &inputs, [true; 4], &mut NullSampler::default());
-        for lane in 0..4 {
-            prop_assert_eq!(result.killed[lane], alpha[lane] < 0.0, "lane {}", lane);
+        for (lane, &a) in alpha.iter().enumerate() {
+            prop_assert_eq!(result.killed[lane], a < 0.0, "lane {}", lane);
         }
     }
 }

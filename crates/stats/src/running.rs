@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn variance_of_constant_is_zero() {
-        let s: RunningStat = std::iter::repeat(5.0).take(100).collect();
+        let s: RunningStat = std::iter::repeat_n(5.0, 100).collect();
         assert!(s.variance() < 1e-9);
     }
 

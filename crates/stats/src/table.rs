@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn fmt_helpers() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(3.456, 2), "3.46");
         assert_eq!(fmt_pct(0.375, 1), "37.5%");
     }
 

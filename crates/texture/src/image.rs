@@ -41,7 +41,7 @@ impl Image {
     pub fn checkerboard(width: u32, height: u32, cell: u32, a: [u8; 4], b: [u8; 4]) -> Self {
         let cell = cell.max(1);
         Image::from_fn(width, height, |x, y| {
-            if ((x / cell) + (y / cell)) % 2 == 0 {
+            if ((x / cell) + (y / cell)).is_multiple_of(2) {
                 a
             } else {
                 b

@@ -125,6 +125,7 @@ impl SamplerState {
     /// they fetch texels and count toward `stats`.
     ///
     /// Returns the filtered color per lane (inactive lanes return zero).
+    #[allow(clippy::too_many_arguments)]
     pub fn sample_quad<T: TexelTracker>(
         &self,
         texture: &Texture,

@@ -81,6 +81,27 @@ impl Texture {
         Texture { format, levels }
     }
 
+    /// Total VRAM [`from_image`](Texture::from_image) would allocate for
+    /// this texture (compressed + decompressed-space backing of every
+    /// level), without encoding anything. Lets a caller enforce a memory
+    /// budget *before* committing the allocation.
+    pub fn footprint_bytes(image: &Image, format: TexFormat, gen_mips: bool) -> u64 {
+        let (mut w, mut h) = (image.width(), image.height());
+        let mut total = 0u64;
+        loop {
+            total += format.level_bytes(w, h);
+            total += 4 * (w.div_ceil(TILE) as u64)
+                * (h.div_ceil(TILE) as u64)
+                * (TILE * TILE) as u64;
+            if !gen_mips || (w == 1 && h == 1) {
+                break;
+            }
+            w = (w / 2).max(1);
+            h = (h / 2).max(1);
+        }
+        total
+    }
+
     /// The storage format.
     pub fn format(&self) -> TexFormat {
         self.format

@@ -73,9 +73,9 @@ proptest! {
         let mut stats = SampleStats::default();
         let out = sampler.sample_quad(&tex, &coords, false, 0.0, [true; 4], &mut NoopTracker, &mut stats);
         let expect = Vec4::new(r as f32 / 255.0, g as f32 / 255.0, b as f32 / 255.0, 1.0);
-        for lane in 0..4 {
-            let d = out[lane] - expect;
-            prop_assert!(d.dot(d) < 1e-4, "lane {lane}: {:?} vs {expect:?}", out[lane]);
+        for (lane, &got) in out.iter().enumerate() {
+            let d = got - expect;
+            prop_assert!(d.dot(d) < 1e-4, "lane {lane}: {got:?} vs {expect:?}");
         }
         prop_assert_eq!(stats.requests, 4);
     }

@@ -113,7 +113,7 @@ pub fn fragment_program(name: &str, total: usize, tex: usize, kill: bool) -> Pro
     let alu_budget = total - instrs.len() - 1; // reserve the final MOV
     for i in 0..alu_budget {
         let dst = Reg::temp((i % 4) as u8);
-        let sampled = Src::temp((i % (tex.max(1)).min(8)) as u8);
+        let sampled = Src::temp((i % tex.clamp(1, 8)) as u8);
         match i % 4 {
             0 => instrs.push(Instr::dp3(Reg::temp(4), Src::input(1), Src::constant(constants::LIGHT))),
             1 => instrs.push(Instr::mad(dst, sampled, Src::temp(4), Src::constant(constants::MATERIAL))),

@@ -406,7 +406,7 @@ impl Timedemo {
     fn is_transition_frame(&self, frame: u32) -> bool {
         // FEAR and Oblivion show mid-demo loading spikes (Figure 3).
         let spiky = matches!(self.profile.engine, "Monolith" | "Gamebryo");
-        spiky && frame > 0 && frame % 400 == 0
+        spiky && frame > 0 && frame.is_multiple_of(400)
     }
 
     fn emit_transition_uploads<S: CommandSink>(&mut self, sink: &mut S) {

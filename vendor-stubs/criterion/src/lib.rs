@@ -1,0 +1,126 @@
+//! Wall-clock micro-benchmark harness exposing the criterion API shape
+//! the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`.
+//!
+//! Reports mean wall-clock time per iteration; no statistics engine, no
+//! HTML reports, no CLI filtering.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), samples: 20 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (timed repetitions per benchmark).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.samples, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then `samples` timed calls.
+        let _ = f();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = f();
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples: samples.max(1), mean_ns: 0.0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{id:<48} time: {value:.3} {unit}/iter ({} samples)", b.samples);
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

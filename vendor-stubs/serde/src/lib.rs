@@ -1,0 +1,17 @@
+//! Marker-trait facade for serde.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as declarative
+//! metadata only; no serializer ever runs. Blanket impls make every type
+//! satisfy the traits, and the derives (re-exported from `serde_derive`)
+//! expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

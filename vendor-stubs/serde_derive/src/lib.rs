@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only ever *derives* the serde traits — nothing is
+//! serialized — so the derives can expand to nothing. The `serde`
+//! helper attribute is accepted (and ignored) for compatibility.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the marker trait in the `serde` stub has a blanket
+/// impl, so deriving is purely cosmetic.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
