@@ -22,8 +22,14 @@ experiments:
                        cache size, filtering level)
   replay               replay one timedemo through the simulator (see
                        --game, --checkpoint-every, --resume)
+  parallel             time the fragment pipeline serial vs --threads
+                       workers, verify bit-identical results, and record
+                       the honest numbers in BENCH_parallel.json
 
 options:
+  --threads N          fragment-pipeline worker threads (default: the
+                       GWC_THREADS environment variable, else 1 for
+                       replay / all host cores for parallel)
   --paper              full setting: 2000 API frames, 8 simulated frames
                        at 1024x768 (minutes of runtime)
   --quick              small setting for smoke tests
@@ -60,6 +66,7 @@ struct Options {
     game: String,
     checkpoint_every: Option<u32>,
     resume: Option<String>,
+    threads: u32,
 }
 
 fn parse_args() -> Options {
@@ -70,6 +77,7 @@ fn parse_args() -> Options {
     let mut game = "Doom3/trdemo2".to_string();
     let mut checkpoint_every = None;
     let mut resume = None;
+    let mut threads = 0u32;
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -110,6 +118,9 @@ fn parse_args() -> Options {
                 checkpoint_every = Some(n);
             }
             "--resume" => resume = Some(value(&mut args, &arg)),
+            "--threads" => {
+                threads = parse(&arg, value(&mut args, &arg), "a worker thread count")
+            }
             "--help" | "-h" => help(),
             e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
             e => experiments.push(e.to_string()),
@@ -118,7 +129,7 @@ fn parse_args() -> Options {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, config, csv, game, checkpoint_every, resume }
+    Options { experiments, config, csv, game, checkpoint_every, resume, threads }
 }
 
 fn print_table(t: &Table, csv: bool) {
@@ -325,6 +336,80 @@ fn run_ablations(config: &RunConfig) {
     println!("{}", t.to_ascii());
 }
 
+/// Times the fragment-heavy replay serial vs `--threads` workers, checks
+/// the two runs bit-identical, and records the honest numbers (including
+/// the host's core count — a speedup claim from a 1-core container is
+/// meaningless) in `BENCH_parallel.json`.
+fn run_parallel_bench(options: &Options) {
+    let config = &options.config;
+    let frames = config.sim_frames.max(2);
+    let (w, h) = (config.width, config.height);
+    if gwc_workloads::GameProfile::by_name(&options.game).is_none() {
+        bad_arg(format!("invalid value '{}' for '--game' (expected a Table I timedemo)", options.game));
+    }
+    let host_cores =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    // --threads wins; then GWC_THREADS (as everywhere else); then every
+    // host core, since this experiment exists to measure scaling.
+    let threads = if options.threads > 0 {
+        options.threads
+    } else {
+        std::env::var("GWC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(host_cores as u32)
+    };
+
+    let timed = |workers: u32| {
+        let start = std::time::Instant::now();
+        let gpu = gwc_bench::simulate_with(&options.game, frames, w, h, |c| c.threads = workers);
+        (start.elapsed().as_secs_f64(), gpu)
+    };
+    eprintln!("parallel bench: {} ({frames} frames at {w}x{h}), serial pass...", options.game);
+    let (serial_secs, serial) = timed(1);
+    eprintln!("parallel bench: {threads}-thread pass...");
+    let (parallel_secs, parallel) = timed(threads);
+
+    let identical = serial.stats() == parallel.stats()
+        && serial.framebuffer_crc() == parallel.framebuffer_crc()
+        && serial.save_checkpoint() == parallel.save_checkpoint();
+    let speedup = serial_secs / parallel_secs;
+
+    let mut t = Table::new(
+        format!("Parallel fragment pipeline: {} ({frames} frames at {w}x{h})", options.game),
+        &["configuration", "seconds", "speedup", "bit-identical"],
+    );
+    t.numeric();
+    t.row(vec!["serial".into(), format!("{serial_secs:.3}"), "1.00".into(), "-".into()]);
+    t.row(vec![
+        format!("{threads} threads"),
+        format!("{parallel_secs:.3}"),
+        format!("{speedup:.2}"),
+        if identical { "yes".into() } else { "NO".into() },
+    ]);
+    println!("{}", t.to_ascii());
+    if host_cores == 1 {
+        println!("(host exposes a single core: the speedup column measures scheduling overhead, not scaling)");
+    }
+
+    let json = format!(
+        "{{\n  \"game\": \"{}\",\n  \"frames\": {frames},\n  \"width\": {w},\n  \"height\": {h},\n  \"host_cores\": {host_cores},\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_secs:.3},\n  \"parallel_seconds\": {parallel_secs:.3},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {identical}\n}}\n",
+        options.game
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_parallel.json"),
+        Err(e) => {
+            eprintln!("repro: cannot write BENCH_parallel.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("repro: parallel run diverged from serial — determinism bug");
+        std::process::exit(1);
+    }
+}
+
 /// A hardened replay of one timedemo: frame-boundary checkpoints on the
 /// way out, optional resume from one on the way in.
 fn run_replay(options: &Options) {
@@ -334,7 +419,11 @@ fn run_replay(options: &Options) {
         bad_arg(format!("invalid value '{}' for '--game' (expected a Table I timedemo)", options.game));
     }
     let trace = gwc_bench::record_trace(&options.game, frames);
-    let gpu_config = GpuConfig::r520(config.width, config.height);
+    let mut gpu_config = GpuConfig::r520(config.width, config.height);
+    // The worker count is execution policy, not persistent state: a resume
+    // under any --threads lands in the checkpoint's stripe partitioning
+    // and replays bit-identically.
+    gpu_config.threads = options.threads;
 
     let (mut gpu, start_frame) = match &options.resume {
         Some(path) => {
@@ -404,8 +493,10 @@ fn run_replay(options: &Options) {
 
 fn main() {
     let options = parse_args();
-    let needs_study =
-        options.experiments.iter().any(|e| e != "ablations" && e != "replay");
+    let needs_study = options
+        .experiments
+        .iter()
+        .any(|e| e != "ablations" && e != "replay" && e != "parallel");
     let study = if needs_study {
         eprintln!(
             "running study: {} API frames, {} simulated frames at {}x{}...",
@@ -425,6 +516,10 @@ fn main() {
         }
         if experiment == "replay" {
             run_replay(&options);
+            continue;
+        }
+        if experiment == "parallel" {
+            run_parallel_bench(&options);
             continue;
         }
         let study = study.as_ref().expect("study built for table/figure experiments");

@@ -159,10 +159,10 @@ pub fn characterize(profile: &'static GameProfile, config: &RunConfig) -> GameCh
         };
         Some(SimResults {
             stats: gpu.stats().clone(),
-            z_cache: *gpu.z_cache_stats(),
-            color_cache: *gpu.color_cache_stats(),
-            tex_l0: *gpu.texture_unit().l0_stats(),
-            tex_l1: *gpu.texture_unit().l1_stats(),
+            z_cache: gpu.z_cache_stats(),
+            color_cache: gpu.color_cache_stats(),
+            tex_l0: gpu.tex_l0_stats(),
+            tex_l1: gpu.tex_l1_stats(),
             filtering,
             memory: gpu.memory().frames().to_vec(),
             width: config.width,

@@ -69,6 +69,15 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.accesses - self.hits
     }
+
+    /// Adds another cache's counts into this one (associative and
+    /// commutative; used to aggregate per-stripe cache instances).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.fills += other.fills;
+        self.writebacks += other.writebacks;
+    }
 }
 
 /// The result of [`Cache::access_detailed`].

@@ -237,6 +237,23 @@ impl MemoryController {
         &self.current
     }
 
+    /// Takes the in-flight frame's traffic, leaving the current frame empty.
+    ///
+    /// Used by the parallel fragment pipeline to drain each stripe
+    /// controller's per-draw traffic into the master controller.
+    pub fn take_current(&mut self) -> FrameTraffic {
+        std::mem::take(&mut self.current)
+    }
+
+    /// Adds pre-accounted traffic into the current frame.
+    ///
+    /// Unlike [`MemoryController::read`], this never consults the fault
+    /// injector: the transactions were already coin-flipped by the stripe
+    /// controller that first recorded them.
+    pub fn absorb(&mut self, traffic: &FrameTraffic) {
+        self.current.merge(traffic);
+    }
+
     /// Closes the current frame, appends it to the history and returns it.
     pub fn end_frame(&mut self) -> FrameTraffic {
         let f = std::mem::take(&mut self.current);
@@ -320,6 +337,37 @@ mod tests {
         let f2 = mc.end_frame();
         assert_eq!(f2.total_read(), 20);
         assert_eq!(mc.frames().len(), 2);
+    }
+
+    #[test]
+    fn take_current_and_absorb_roundtrip() {
+        let mut stripe = MemoryController::new();
+        stripe.read(MemClient::ZStencil, 256);
+        stripe.write(MemClient::Color, 64);
+        let drained = stripe.take_current();
+        assert_eq!(stripe.current_frame().total(), 0, "drain empties the stripe frame");
+
+        let mut master = MemoryController::new();
+        master.read(MemClient::Texture, 64);
+        master.absorb(&drained);
+        assert_eq!(master.current_frame().client(MemClient::ZStencil).read, 256);
+        assert_eq!(master.current_frame().client(MemClient::Color).written, 64);
+        assert_eq!(master.current_frame().total(), 384);
+    }
+
+    #[test]
+    fn absorb_bypasses_fault_injector() {
+        let mut master = MemoryController::new();
+        // Rate of 100% per transaction: every direct read would fault.
+        master.enable_fault_injection(1, 1_000_000);
+        let mut stripe = MemoryController::new();
+        for _ in 0..100 {
+            stripe.read(MemClient::ZStencil, 256);
+        }
+        master.absorb(&stripe.take_current());
+        assert_eq!(master.injected_faults_total(), 0, "absorbed traffic is not re-flipped");
+        master.read(MemClient::ZStencil, 256);
+        assert_eq!(master.injected_faults_total(), 1);
     }
 
     #[test]

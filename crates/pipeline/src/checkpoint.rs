@@ -18,8 +18,10 @@
 
 /// File magic: `GWCK`.
 const MAGIC: [u8; 4] = *b"GWCK";
-/// Container format version.
-const VERSION: u16 = 1;
+/// Container format version. Version 2 added the stripe layout to `CONF`
+/// and made the framebuffer cache records per-stripe in `FRAM` (the
+/// stripe-parallel fragment pipeline); version-1 blobs are rejected.
+const VERSION: u16 = 2;
 
 /// Errors produced when reading a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

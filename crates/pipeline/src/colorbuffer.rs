@@ -130,6 +130,29 @@ impl ColorBuffer {
         out
     }
 
+    /// Splits the surface into disjoint horizontal bands of `band_rows`
+    /// rows (the last band may be shorter). Each [`ColorBandView`] writes
+    /// only its own rows, so the views can be driven from different
+    /// threads while partitioning exactly the operations the whole surface
+    /// would see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band_rows` is zero or not a multiple of 8 (blend blocks
+    /// are 8×8).
+    pub(crate) fn band_views(&mut self, band_rows: u32) -> Vec<ColorBandView<'_>> {
+        assert!(
+            band_rows > 0 && band_rows.is_multiple_of(8),
+            "band_rows must be a non-zero multiple of 8"
+        );
+        let width = self.width;
+        self.pixels
+            .chunks_mut((band_rows * width) as usize)
+            .enumerate()
+            .map(|(i, pixels)| ColorBandView { width, y0: i as u32 * band_rows, pixels })
+            .collect()
+    }
+
     /// Serializes the frame as a binary PPM (P6) image — the simulator's
     /// screenshot facility.
     ///
@@ -158,6 +181,70 @@ impl ColorBuffer {
             acc += (0.299 * c.x + 0.587 * c.y + 0.114 * c.z) as f64;
         }
         acc / self.pixels.len() as f64
+    }
+}
+
+/// A mutable view of one horizontal band of a [`ColorBuffer`], addressed
+/// in global surface coordinates. Produced by [`ColorBuffer::band_views`];
+/// the stripe-parallel fragment pipeline gives each worker exactly one.
+#[derive(Debug)]
+pub(crate) struct ColorBandView<'a> {
+    width: u32,
+    y0: u32,
+    pixels: &'a mut [u32],
+}
+
+impl ColorBandView<'_> {
+    /// Rows covered by this band.
+    pub fn rows(&self) -> u32 {
+        self.pixels.len() as u32 / self.width
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width, "x {x} outside surface");
+        debug_assert!(
+            y >= self.y0 && y < self.y0 + self.rows(),
+            "row {y} outside band [{}, {})",
+            self.y0,
+            self.y0 + self.rows()
+        );
+        ((y - self.y0) * self.width + x) as usize
+    }
+
+    /// Writes a fragment color with blending (global coordinates); the
+    /// same arithmetic as [`ColorBuffer::write`].
+    pub fn write(&mut self, x: u32, y: u32, src: Vec4, blend: &BlendState) {
+        let i = self.index(x, y);
+        let out = if blend.enabled {
+            let dst = unpack(self.pixels[i]);
+            let s = factor(blend.src, src, dst);
+            let d = factor(blend.dst, src, dst);
+            (src * s + dst * d).saturate()
+        } else {
+            src.saturate()
+        };
+        self.pixels[i] = pack(out);
+    }
+
+    /// The packed colors of the 8×8 block containing `(x, y)` (row-major,
+    /// 0-padded past the surface edge) — matches
+    /// [`ColorBuffer::block_colors`] for blocks owned by this band.
+    pub fn block_colors(&self, x: u32, y: u32) -> [u32; 64] {
+        let bx = (x / 8) * 8;
+        let by = (y / 8) * 8;
+        debug_assert!(by >= self.y0, "block row {by} outside band");
+        let mut out = [0u32; 64];
+        for iy in 0..8 {
+            for ix in 0..8 {
+                let xx = bx + ix;
+                let yy = by + iy;
+                if xx < self.width && yy < self.y0 + self.rows() {
+                    out[(iy * 8 + ix) as usize] = self.pixels[self.index(xx, yy)];
+                }
+            }
+        }
+        out
     }
 }
 
@@ -237,6 +324,43 @@ mod tests {
         // First pixel is red.
         assert_eq!(ppm[header], 255);
         assert_eq!(ppm[header + 1], 0);
+    }
+
+    #[test]
+    fn band_views_match_whole_surface() {
+        let blend = BlendState { enabled: true, src: BlendFactor::One, dst: BlendFactor::One };
+        let mut whole = ColorBuffer::new(16, 24);
+        let mut banded = ColorBuffer::new(16, 24);
+        let writes =
+            [(0u32, 0u32), (5, 7), (8, 8), (15, 15), (3, 16), (15, 23), (0, 23), (7, 12)];
+        for &(x, y) in &writes {
+            whole.write(x, y, Vec4::new(0.3, 0.1, 0.6, 0.5), &blend);
+        }
+        {
+            let mut views = banded.band_views(8);
+            assert_eq!(views.len(), 3);
+            for &(x, y) in &writes {
+                let v = &mut views[(y / 8) as usize];
+                v.write(x, y, Vec4::new(0.3, 0.1, 0.6, 0.5), &blend);
+            }
+            assert_eq!(views[1].block_colors(8, 8), whole.block_colors(8, 8));
+            assert_eq!(views[2].rows(), 8);
+        }
+        assert_eq!(banded.raw_pixels(), whole.raw_pixels());
+    }
+
+    #[test]
+    fn band_views_short_last_band() {
+        let mut cb = ColorBuffer::new(8, 20);
+        let views = cb.band_views(16);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[1].rows(), 4);
+        // Block colors at the surface edge pad with zeros like the whole
+        // surface does.
+        let whole = ColorBuffer::new(8, 20);
+        let mut cb2 = ColorBuffer::new(8, 20);
+        let views2 = cb2.band_views(16);
+        assert_eq!(views2[1].block_colors(0, 16), whole.block_colors(0, 16));
     }
 
     #[test]

@@ -51,6 +51,17 @@ pub struct GpuConfig {
     /// allocator past this faults with
     /// [`crate::SimError::AllocationOverflow`].
     pub vram_limit_bytes: u64,
+    /// Fragment-pipeline worker threads. `0` resolves from the
+    /// `GWC_THREADS` environment variable (absent → 1). Any thread count
+    /// produces bit-identical results: parallelism only changes which
+    /// worker executes each stripe, never the work done per stripe.
+    pub threads: u32,
+    /// Rows per framebuffer stripe — the unit of fragment-pipeline
+    /// parallelism. Must be a non-zero multiple of 16 so rasterizer tiles,
+    /// 8×8 compression blocks, and 2×2 quads never straddle a stripe.
+    /// Stripe layout (and therefore statistics) depends on this value, not
+    /// on the thread count.
+    pub stripe_rows: u32,
 }
 
 impl GpuConfig {
@@ -79,6 +90,8 @@ impl GpuConfig {
             fault_policy: FaultPolicy::Strict,
             // The R520 shipped with up to 512 MiB of GDDR3.
             vram_limit_bytes: 512 << 20,
+            threads: 0,
+            stripe_rows: 32,
         }
     }
 

@@ -7,22 +7,21 @@ use gwc_api::{decode_commands, encode_commands, ClearMask, Command, CommandSink,
 use gwc_math::Vec4;
 use gwc_mem::compress::{classify_color_block, classify_z_block, BlockState,
                         CompressionDirectory};
-use gwc_mem::{tiled_offset, AccessKind, AddressSpace, Cache, CacheConfig, CacheStats,
-              ClientTraffic, FrameTraffic, LineState, MemClient, MemoryController};
-use gwc_raster::{clip_near, rasterize, BlendState, ClipResult, CompareFunc, CullMode,
-                 DepthStencilBuffer, DepthState, FrontFace, HzBuffer, Quad, RasterStats,
-                 ShadedVertex, StencilOp, StencilState, TriangleSetup, Viewport, ZResult,
-                 MAX_VARYINGS};
+use gwc_mem::{AddressSpace, Cache, CacheConfig, CacheStats, ClientTraffic, FrameTraffic,
+              LineState, MemClient, MemoryController};
+use gwc_raster::{clip_near, BlendState, ClipResult, CompareFunc, CullMode,
+                 DepthStencilBuffer, DepthState, FrontFace, HzBuffer, ShadedVertex,
+                 StencilOp, StencilState, TriangleSetup, Viewport, MAX_VARYINGS};
 use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
-use gwc_texture::{SamplerState, Texture};
+use gwc_texture::{SampleStats, SamplerState, Texture};
 
 use crate::checkpoint::{self, CheckpointError, Dec, Enc, SectionWriter};
 use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
 use crate::error::{FaultPolicy, SimError};
+use crate::fragment::{DrawPacket, StripeJob, StripeOutcome, StripeUnits};
 use crate::stats::{FrameSimStats, SimStats};
 use crate::streamer::VertexCache;
-use crate::texunit::{BoundSampler, TextureUnit};
 
 #[derive(Debug)]
 struct VertexBufferRes {
@@ -82,17 +81,20 @@ pub struct Gpu {
     vs_machine: ShaderMachine,
     fs_machine: ShaderMachine,
     vcache: VertexCache,
-    texunit: TextureUnit,
+
+    // Stripe-parallel fragment back end: per-stripe caches, texture units
+    // and memory controllers (stripe layout is fixed by the configuration,
+    // never by the thread count), plus the resolved worker count.
+    stripes: Vec<StripeUnits>,
+    threads: u32,
 
     // Framebuffer state.
     zbuffer: DepthStencilBuffer,
     hz: HzBuffer,
     z_dir: CompressionDirectory,
-    z_cache: Cache,
     zb_addr: u64,
     colorbuffer: ColorBuffer,
     color_dir: CompressionDirectory,
-    color_cache: Cache,
     cb_addr: u64,
 
     // Memory & statistics.
@@ -112,14 +114,41 @@ pub struct Gpu {
     creation_log: Vec<Command>,
 }
 
+/// Resolves the fragment-pipeline worker count: an explicit configuration
+/// wins; `0` consults the `GWC_THREADS` environment variable and defaults
+/// to 1 (serial).
+fn resolve_threads(configured: u32) -> u32 {
+    if configured > 0 {
+        return configured;
+    }
+    std::env::var("GWC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 impl Gpu {
     /// Creates a GPU with cleared framebuffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`GpuConfig::stripe_rows`] is zero or not a multiple
+    /// of 16 (rasterizer tiles and compression blocks must not straddle
+    /// stripes).
     pub fn new(config: GpuConfig) -> Self {
+        assert!(
+            config.stripe_rows > 0 && config.stripe_rows.is_multiple_of(16),
+            "stripe_rows must be a non-zero multiple of 16"
+        );
         let viewport = Viewport::new(config.width, config.height);
         let mut vram = AddressSpace::new();
         let fb_bytes = config.width as u64 * config.height as u64 * 4;
         let zb_addr = vram.alloc(fb_bytes, 256);
         let cb_addr = vram.alloc(fb_bytes, 256);
+        let stripe_count = config.height.div_ceil(config.stripe_rows) as usize;
+        let stripes = (0..stripe_count).map(|_| StripeUnits::new(&config)).collect();
+        let threads = resolve_threads(config.threads);
         Gpu {
             viewport,
             vram,
@@ -141,15 +170,14 @@ impl Gpu {
             vs_machine: ShaderMachine::new(),
             fs_machine: ShaderMachine::new(),
             vcache: VertexCache::new(config.vertex_cache_entries),
-            texunit: TextureUnit::new(&config),
+            stripes,
+            threads,
             zbuffer: DepthStencilBuffer::new(config.width, config.height),
             hz: HzBuffer::new(config.width, config.height),
             z_dir: CompressionDirectory::new(config.width, config.height),
-            z_cache: Cache::new(config.z_cache),
             zb_addr,
             colorbuffer: ColorBuffer::new(config.width, config.height),
             color_dir: CompressionDirectory::new(config.width, config.height),
-            color_cache: Cache::new(config.color_cache),
             cb_addr,
             mem: MemoryController::new(),
             frame: FrameSimStats::default(),
@@ -179,30 +207,79 @@ impl Gpu {
     }
 
     /// Arms (or with `rate_ppm == 0` disarms) seeded read-corruption fault
-    /// injection on the memory controller. Injected faults surface as
+    /// injection on the memory controllers. Injected faults surface as
     /// [`SimError::MemoryFault`] through the configured [`FaultPolicy`].
+    /// Each stripe's controller gets its own injector stream derived from
+    /// `seed` and the stripe index, so the corruption pattern depends on
+    /// the (configuration-fixed) stripe layout, never on the thread count.
     pub fn enable_memory_fault_injection(&mut self, seed: u64, rate_ppm: u32) {
         self.mem.enable_fault_injection(seed, rate_ppm);
+        for (i, s) in self.stripes.iter_mut().enumerate() {
+            let stripe_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            s.mem.enable_fault_injection(stripe_seed, rate_ppm);
+        }
     }
 
-    /// Z & stencil cache statistics (Table XIV).
-    pub fn z_cache_stats(&self) -> &CacheStats {
-        self.z_cache.stats()
+    /// Resolved fragment-pipeline worker count (see
+    /// [`GpuConfig::threads`]).
+    pub fn threads(&self) -> u32 {
+        self.threads
     }
 
-    /// Color cache statistics (Table XIV).
-    pub fn color_cache_stats(&self) -> &CacheStats {
-        self.color_cache.stats()
+    /// Number of framebuffer stripes (fixed by the configuration).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
     }
 
-    /// The texture unit (cache + filtering statistics).
-    pub fn texture_unit(&self) -> &TextureUnit {
-        &self.texunit
+    /// Z & stencil cache statistics, aggregated over stripes (Table XIV).
+    pub fn z_cache_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.stripes {
+            out.merge(s.z_cache.stats());
+        }
+        out
+    }
+
+    /// Color cache statistics, aggregated over stripes (Table XIV).
+    pub fn color_cache_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.stripes {
+            out.merge(s.color_cache.stats());
+        }
+        out
+    }
+
+    /// Texture L0 cache statistics, aggregated over stripes (Table XIV).
+    pub fn tex_l0_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.stripes {
+            out.merge(s.texunit.l0_stats());
+        }
+        out
+    }
+
+    /// Texture L1 cache statistics, aggregated over stripes (Table XIV).
+    pub fn tex_l1_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.stripes {
+            out.merge(s.texunit.l1_stats());
+        }
+        out
     }
 
     /// The rendered color buffer.
     pub fn framebuffer(&self) -> &ColorBuffer {
         &self.colorbuffer
+    }
+
+    /// CRC-32 of the packed framebuffer contents — a cheap fingerprint for
+    /// determinism checks across thread counts.
+    pub fn framebuffer_crc(&self) -> u32 {
+        let mut bytes = Vec::with_capacity(self.colorbuffer.raw_pixels().len() * 4);
+        for &p in self.colorbuffer.raw_pixels() {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        checkpoint::crc32(&bytes)
     }
 
     /// The depth/stencil buffer.
@@ -294,58 +371,6 @@ impl Gpu {
         Ok(v)
     }
 
-    /// Z & stencil cache access for one quad; returns nothing but accounts
-    /// fills and compressed writebacks.
-    fn z_cache_access(&mut self, x: u32, y: u32, write: bool) {
-        let addr = self.zb_addr + tiled_offset(x, y, self.config.width, 4);
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
-        let out = self.z_cache.access_detailed(addr, kind);
-        if !out.hit {
-            let state = if self.config.z_compression {
-                self.z_dir.state_at(x, y)
-            } else {
-                BlockState::Uncompressed
-            };
-            let bytes = state.transfer_bytes(256);
-            if bytes > 0 {
-                self.mem.read(MemClient::ZStencil, bytes);
-            }
-        }
-        if let Some(line) = out.evicted_dirty_line {
-            self.write_back_z_line(line);
-        }
-    }
-
-
-    fn color_cache_access(&mut self, x: u32, y: u32, write: bool) {
-        let addr = self.cb_addr + tiled_offset(x, y, self.config.width, 4);
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
-        let out = self.color_cache.access_detailed(addr, kind);
-        if !out.hit {
-            let state = if self.config.color_compression {
-                self.color_dir.state_at(x, y)
-            } else {
-                BlockState::Uncompressed
-            };
-            let bytes = state.transfer_bytes(256);
-            if bytes > 0 {
-                self.mem.read(MemClient::Color, bytes);
-            }
-        }
-        if let Some(line) = out.evicted_dirty_line {
-            self.write_back_color_line(line);
-        }
-    }
-
-    /// Maps a framebuffer line address back to the pixel of its 8×8 block.
-    fn block_pixel(&self, line_addr: u64, base: u64) -> (u32, u32) {
-        let block = (line_addr - base) / 256;
-        let blocks_x = self.config.width.div_ceil(8) as u64;
-        let bx = (block % blocks_x) as u32;
-        let by = (block / blocks_x) as u32;
-        (bx * 8, by * 8)
-    }
-
     fn draw(
         &mut self,
         vertex_buffer: u32,
@@ -420,7 +445,11 @@ impl Gpu {
             && !stencil_sensitive(&self.stencil_front)
             && !stencil_sensitive(&self.stencil_back);
 
+        // Phase 1 — serial geometry: fetch, shade, clip, cull, set up. A
+        // geometry fault aborts the draw before *any* fragment work, so
+        // the fragment flush below always sees a complete triangle list.
         let tri_count = primitive.triangle_count(count as usize);
+        let mut tris: Vec<(TriangleSetup, StencilState)> = Vec::new();
         for t in 0..tri_count {
             let (i0, i1, i2) = primitive.triangle_indices(t);
             let fetch = |gpu: &mut Gpu, pos: usize| -> Result<ShadedVertex, SimError> {
@@ -437,258 +466,192 @@ impl Gpu {
                     self.frame.clipped += 1;
                 }
                 ClipResult::Accepted => {
-                    self.setup_and_rasterize(&[v0, v1, v2], &fragment_program, early_z_ok, hz_ok, true)?;
+                    self.setup_triangle(&[v0, v1, v2], &mut tris, true);
                 }
-                ClipResult::Clipped(tris) => {
-                    for tri in &tris {
-                        self.setup_and_rasterize(tri, &fragment_program, early_z_ok, hz_ok, false)?;
+                ClipResult::Clipped(clipped) => {
+                    for tri in &clipped {
+                        self.setup_triangle(tri, &mut tris, false);
                     }
                 }
             }
         }
-        Ok(())
+
+        // Phase 2 — stripe-parallel fragment flush.
+        self.flush_draw(tris, &fragment_program, early_z_ok, hz_ok)
     }
 
-    fn setup_and_rasterize(
+    /// Sets up one post-clip triangle; survivors land in `tris` with the
+    /// stencil face state they selected.
+    fn setup_triangle(
         &mut self,
         tri: &[ShadedVertex; 3],
-        fragment_program: &Program,
-        early_z_ok: bool,
-        hz_ok: bool,
+        tris: &mut Vec<(TriangleSetup, StencilState)>,
         count_cull: bool,
-    ) -> Result<(), SimError> {
+    ) {
         let Some(setup) = TriangleSetup::new(tri, &self.viewport) else {
             // Degenerate / zero-area: discarded at setup.
             if count_cull {
                 self.frame.culled += 1;
             }
-            return Ok(());
+            return;
         };
         if setup.is_culled(self.cull, self.front_face) {
             if count_cull {
                 self.frame.culled += 1;
             }
-            return Ok(());
+            return;
         }
         self.frame.traversed += 1;
         let front_facing = setup.is_front_facing(self.front_face);
         let stencil = if front_facing { self.stencil_front } else { self.stencil_back };
-
-        let mut raster_stats = RasterStats::default();
-        let mut quads: Vec<Quad> = Vec::new();
-        rasterize(&setup, &self.viewport, &mut raster_stats, &mut |q| quads.push(*q));
-        self.frame.frags_raster += raster_stats.fragments;
-        self.frame.quads_raster += raster_stats.quads;
-        self.frame.quads_complete_raster += raster_stats.complete_quads;
-
-        for quad in &quads {
-            self.process_quad(quad, &setup, fragment_program, &stencil, early_z_ok, hz_ok)?;
-        }
-        Ok(())
+        tris.push((setup, stencil));
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn process_quad(
+    /// Flushes one draw's fragment work across the stripes, then reduces
+    /// the per-stripe results deterministically (in stripe order).
+    fn flush_draw(
         &mut self,
-        quad: &Quad,
-        setup: &TriangleSetup,
+        tris: Vec<(TriangleSetup, StencilState)>,
         fragment_program: &Program,
-        stencil: &StencilState,
         early_z_ok: bool,
         hz_ok: bool,
     ) -> Result<(), SimError> {
-        // --- Hierarchical Z ---
-        if hz_ok {
-            let mut min_z = f32::INFINITY;
-            for lane in 0..4 {
-                if quad.coverage[lane] {
-                    min_z = min_z.min(quad.depth[lane]);
-                }
-            }
-            if !self.hz.test_quad(quad.x, quad.y, min_z, self.depth_state.func, &self.zbuffer) {
-                self.frame.quads_hz_removed += 1;
-                return Ok(());
-            }
+        if tris.is_empty() {
+            return Ok(());
         }
-
-        let covered: [bool; 4] = quad.coverage;
-        let mut live = covered;
-
-        // --- Early Z & stencil ---
-        if early_z_ok {
-            if !self.run_zstencil(quad, &mut live, stencil) {
-                return Ok(());
-            }
-            // Color writes masked off and all tests already done: the quad
-            // is dropped *before* shading (stencil-volume quads reach this
-            // point in the Doom3-engine games — Table XI's shaded overdraw
-            // excludes them while Table IX counts them as "Color Mask").
-            if !self.color_mask {
-                self.frame.quads_colormask += 1;
-                return Ok(());
-            }
-        }
-
-        // --- Fragment shading ---
-        let lane_inputs: [[Vec4; MAX_VARYINGS]; 4] = std::array::from_fn(|lane| {
-            let (x, y) = quad.lane_pos(lane);
-            let (x, y) = (x.min(self.config.width - 1), y.min(self.config.height - 1));
-            setup.varyings_at(x, y)
-        });
-        let input_refs: [&[Vec4]; 4] = [
-            &lane_inputs[0],
-            &lane_inputs[1],
-            &lane_inputs[2],
-            &lane_inputs[3],
-        ];
-        let result = {
-            let mut sampler = BoundSampler {
-                bindings: &self.tex_bindings,
-                pool: &self.textures,
-                unit: &mut self.texunit,
-                mem: &mut self.mem,
-                fault: None,
-            };
-            let r = self
-                .fs_machine
-                .run_fragment_quad(fragment_program, &input_refs, live, &mut sampler);
-            if let Some(fault) = sampler.fault.take() {
-                return Err(fault);
-            }
-            r
+        let packet = DrawPacket {
+            tris,
+            program: fragment_program,
+            early_z_ok,
+            hz_ok,
+            depth_state: self.depth_state,
+            blend: self.blend,
+            color_mask: self.color_mask,
+            alpha_test: self.alpha_test,
+            width: self.config.width,
+            height: self.config.height,
+            z_compression: self.config.z_compression,
+            color_compression: self.config.color_compression,
+            zb_addr: self.zb_addr,
+            cb_addr: self.cb_addr,
+            bindings: &self.tex_bindings,
+            pool: &self.textures,
+            viewport: self.viewport,
         };
-        let shaded = live.iter().filter(|&&l| l).count() as u64;
-        self.frame.frags_shaded += shaded;
 
-        // --- Kill / alpha test ---
-        let mut any_removed_by_alpha = false;
-        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
-        for lane in 0..4 {
-            if !live[lane] {
-                continue;
+        // A private shader machine per stripe: master constants, zeroed
+        // statistics (per-stripe deltas merge back below).
+        let mut proto = self.fs_machine.clone();
+        proto.restore_stats(ExecStats::default());
+
+        let stripe_rows = self.config.stripe_rows;
+        let height = self.config.height;
+        let jobs: Vec<StripeJob<'_>> = self
+            .zbuffer
+            .band_views(stripe_rows)
+            .into_iter()
+            .zip(self.hz.band_views(stripe_rows))
+            .zip(self.colorbuffer.band_views(stripe_rows))
+            .zip(self.z_dir.band_views(stripe_rows))
+            .zip(self.color_dir.band_views(stripe_rows))
+            .zip(self.stripes.iter_mut())
+            .enumerate()
+            .map(|(i, (((((z, hz), color), z_dir), color_dir), units))| {
+                let y0 = i as u32 * stripe_rows;
+                StripeJob {
+                    index: i,
+                    y0,
+                    y1: (y0 + stripe_rows).min(height),
+                    z,
+                    hz,
+                    color,
+                    z_dir,
+                    color_dir,
+                    units,
+                    fs: proto.clone(),
+                    shard: FrameSimStats::default(),
+                    fault: None,
+                }
+            })
+            .collect();
+
+        let workers = (self.threads as usize).min(jobs.len()).max(1);
+        let mut outcomes: Vec<StripeOutcome> = if workers == 1 {
+            // Serial path: the same per-stripe code, run inline in stripe
+            // order — parallel runs are bit-identical by construction.
+            jobs.into_iter()
+                .map(|mut job| {
+                    job.run(&packet);
+                    job.finish()
+                })
+                .collect()
+        } else {
+            // Interleaved assignment: worker w owns stripes w, w+W, … —
+            // purely a scheduling choice, invisible in the results.
+            let mut buckets: Vec<Vec<StripeJob<'_>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                buckets[i % workers].push(job);
             }
-            if result.killed[lane] {
-                live[lane] = false;
-                any_removed_by_alpha = true;
-                continue;
+            std::thread::scope(|scope| {
+                let packet = &packet;
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|mut job| {
+                                    job.run(packet);
+                                    job.finish()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| match h.join() {
+                        Ok(outcomes) => outcomes,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    })
+                    .collect()
+            })
+        };
+        outcomes.sort_by_key(|o| o.index);
+
+        // Deterministic reduction in stripe order: every merged quantity
+        // is a plain sum, and traffic/faults are absorbed lowest stripe
+        // first, so any schedule produces identical state.
+        let mut fs_delta = ExecStats::default();
+        let mut fault: Option<SimError> = None;
+        let mut injected: Option<(&'static str, u64)> = None;
+        for o in &outcomes {
+            self.frame.merge(&o.shard);
+            self.hz.add_counts(o.hz_tested, o.hz_rejected);
+            fs_delta.merge(&o.fs_delta);
+            self.mem.absorb(&o.traffic);
+            if fault.is_none() {
+                fault = o.fault.clone();
             }
-            if let Some(reference) = self.alpha_test {
-                if result.color[lane].w < reference {
-                    live[lane] = false;
-                    any_removed_by_alpha = true;
+            if let Some((client, count)) = o.injected {
+                match &mut injected {
+                    Some((_, total)) => *total += count,
+                    None => injected = Some((client, count)),
                 }
             }
         }
-        if live.iter().all(|&l| !l) {
-            if any_removed_by_alpha {
-                self.frame.quads_alpha_removed += 1;
-            }
-            return Ok(());
-        }
+        let mut fs_total = *self.fs_machine.stats();
+        fs_total.merge(&fs_delta);
+        self.fs_machine.restore_stats(fs_total);
 
-        // --- Late Z & stencil ---
-        if !early_z_ok {
-            // Apply shader-written depth if present.
-            let mut q = *quad;
-            if let Some(depths) = result.depth {
-                q.depth = depths;
-            }
-            if !self.run_zstencil_masked(&q, &mut live, stencil) {
-                return Ok(());
-            }
+        if let Some(e) = fault {
+            return Err(e);
         }
-
-        // --- Color mask ---
-        if !self.color_mask {
-            self.frame.quads_colormask += 1;
-            return Ok(());
+        if let Some((client, count)) = injected {
+            return Err(SimError::MemoryFault { client, count });
         }
-
-        // --- Blend & color write ---
-        // Write-allocate: the fill covers the blend's destination read too.
-        self.color_cache_access(quad.x, quad.y, true);
-        let mut written = 0u64;
-        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
-        for lane in 0..4 {
-            if !live[lane] {
-                continue;
-            }
-            let (x, y) = quad.lane_pos(lane);
-            if x >= self.config.width || y >= self.config.height {
-                continue;
-            }
-            self.colorbuffer.write(x, y, result.color[lane], &self.blend);
-            written += 1;
-        }
-        self.frame.frags_blended += written;
-        self.frame.quads_blended += 1;
         Ok(())
-    }
-
-    /// Z & stencil for an early-z quad (tests covered lanes).
-    /// Returns `false` when the whole quad is removed.
-    fn run_zstencil(&mut self, quad: &Quad, live: &mut [bool; 4], stencil: &StencilState) -> bool {
-        self.run_zstencil_inner(quad, live, stencil)
-    }
-
-    /// Z & stencil after shading (lanes already masked by alpha/kill).
-    fn run_zstencil_masked(
-        &mut self,
-        quad: &Quad,
-        live: &mut [bool; 4],
-        stencil: &StencilState,
-    ) -> bool {
-        self.run_zstencil_inner(quad, live, stencil)
-    }
-
-    fn run_zstencil_inner(
-        &mut self,
-        quad: &Quad,
-        live: &mut [bool; 4],
-        stencil: &StencilState,
-    ) -> bool {
-        let tested = live.iter().filter(|&&l| l).count() as u64;
-        if tested == 0 {
-            return false;
-        }
-        self.frame.frags_zst += tested;
-        let writes = (self.depth_state.test && self.depth_state.write) || stencil.test;
-        self.z_cache_access(quad.x, quad.y, writes);
-        let mut any_pass = false;
-        #[allow(clippy::needless_range_loop)] // lanes step lockstep arrays
-        for lane in 0..4 {
-            if !live[lane] {
-                continue;
-            }
-            let (x, y) = quad.lane_pos(lane);
-            if x >= self.config.width || y >= self.config.height {
-                live[lane] = false;
-                continue;
-            }
-            let r = self
-                .zbuffer
-                .test_and_update(x, y, quad.depth[lane], &self.depth_state, stencil);
-            match r {
-                ZResult::Pass => {
-                    if self.depth_state.test && self.depth_state.write {
-                        self.hz.note_depth_write(x, y);
-                    }
-                    any_pass = true;
-                }
-                ZResult::DepthFail | ZResult::StencilFail => {
-                    live[lane] = false;
-                }
-            }
-        }
-        if !any_pass {
-            self.frame.quads_zst_removed += 1;
-            return false;
-        }
-        self.frame.quads_zst_survived += 1;
-        if live.iter().all(|&l| l) {
-            self.frame.quads_zst_complete += 1;
-        }
-        true
     }
 
     fn clear(&mut self, mask: ClearMask, color: Vec4, depth: f32, stencil: u8) {
@@ -706,23 +669,32 @@ impl Gpu {
             // architectural state here: the cleared plane's stored values
             // are read back from the buffers, not the cache model).
             self.z_dir.fast_clear();
-            self.z_cache.invalidate();
+            for s in &mut self.stripes {
+                s.z_cache.invalidate();
+            }
         }
         if mask.color {
             self.colorbuffer.clear(color);
             self.color_dir.fast_clear();
-            self.color_cache.invalidate();
+            for s in &mut self.stripes {
+                s.color_cache.invalidate();
+            }
         }
     }
 
     fn end_frame(&mut self) {
-        // Flush framebuffer caches (dirty lines become compressed
-        // writebacks).
-        for line in self.z_cache.flush_collect() {
-            self.write_back_z_line(line);
+        // Flush per-stripe framebuffer caches in stripe order (dirty lines
+        // become compressed writebacks through the master controller; the
+        // surfaces are whole again, so the full-surface helpers apply).
+        for i in 0..self.stripes.len() {
+            for line in self.stripes[i].z_cache.flush_collect() {
+                self.write_back_z_line(line);
+            }
         }
-        for line in self.color_cache.flush_collect() {
-            self.write_back_color_line(line);
+        for i in 0..self.stripes.len() {
+            for line in self.stripes[i].color_cache.flush_collect() {
+                self.write_back_color_line(line);
+            }
         }
         // DAC scan-out: reads the (possibly compressed) color surface.
         let mut dac_bytes = 0u64;
@@ -748,8 +720,13 @@ impl Gpu {
         self.vs_prev = vs_now;
         self.fs_prev = fs_now;
 
-        // Texture filtering stats.
-        let tex = self.texunit.take_sample_stats();
+        // Texture filtering stats, summed over stripes.
+        let mut tex = SampleStats::default();
+        for s in &mut self.stripes {
+            let t = s.texunit.take_sample_stats();
+            tex.requests += t.requests;
+            tex.bilinear_samples += t.bilinear_samples;
+        }
         self.frame.tex_requests = tex.requests;
         self.frame.bilinear_samples = tex.bilinear_samples;
 
@@ -761,7 +738,7 @@ impl Gpu {
 
     fn write_back_z_line(&mut self, line: u64) {
         // Writebacks already counted by flush_collect; size them here.
-        let (x, y) = self.block_pixel(line, self.zb_addr);
+        let (x, y) = crate::fragment::block_pixel(line, self.zb_addr, self.config.width);
         let state = if self.config.z_compression {
             classify_z_block(&self.zbuffer.block_depths(x, y))
         } else {
@@ -772,7 +749,7 @@ impl Gpu {
     }
 
     fn write_back_color_line(&mut self, line: u64) {
-        let (x, y) = self.block_pixel(line, self.cb_addr);
+        let (x, y) = crate::fragment::block_pixel(line, self.cb_addr, self.config.width);
         let state = if self.config.color_compression {
             classify_color_block(&self.colorbuffer.block_colors(x, y))
         } else {
@@ -1029,10 +1006,16 @@ impl Gpu {
 
         let mut w = SectionWriter::new();
 
-        // CONF: geometry + allocator fingerprint, validated on restore.
+        // CONF: geometry + stripe layout + allocator fingerprint,
+        // validated on restore. The stripe layout shapes the cache records
+        // in FRAM (and the statistics a resumed run will produce), so a
+        // restore under a different layout must fail loudly. The *thread*
+        // count is deliberately not recorded: any worker count replays a
+        // checkpoint to bit-identical results.
         let mut conf = Enc::default();
         conf.u32(self.config.width);
         conf.u32(self.config.height);
+        conf.u32(self.config.stripe_rows);
         conf.u64(self.vram.allocated_bytes());
         conf.u32(self.stats.frames().len() as u32);
         w.section(*b"CONF", &conf.buf);
@@ -1134,9 +1117,12 @@ impl Gpu {
                 fram.u8(block_state_tag(s));
             }
         }
-        let (l0, l1) = self.texunit.caches();
-        for cache in [&self.z_cache, &self.color_cache, l0, l1] {
-            write_cache(&mut fram, cache);
+        fram.u32(self.stripes.len() as u32);
+        for s in &self.stripes {
+            let (l0, l1) = s.texunit.caches();
+            for cache in [&s.z_cache, &s.color_cache, l0, l1] {
+                write_cache(&mut fram, cache);
+            }
         }
         w.section(*b"FRAM", &fram.buf);
 
@@ -1162,6 +1148,11 @@ impl Gpu {
         let mut conf = Dec::new(checkpoint::require(&sections, *b"CONF")?);
         if (conf.u32()?, conf.u32()?) != (config.width, config.height) {
             return Err(CheckpointError::Corrupt("checkpoint resolution differs from configuration"));
+        }
+        if conf.u32()? != config.stripe_rows {
+            return Err(CheckpointError::Corrupt(
+                "checkpoint stripe layout differs from configuration",
+            ));
         }
         let vram_allocated = conf.u64()?;
         let frame_count = conf.u32()? as usize;
@@ -1283,11 +1274,19 @@ impl Gpu {
         };
         gpu.z_dir = read_dir(&mut fram)?;
         gpu.color_dir = read_dir(&mut fram)?;
-        gpu.z_cache = read_cache(&mut fram, config.z_cache)?;
-        gpu.color_cache = read_cache(&mut fram, config.color_cache)?;
-        let l0 = read_cache(&mut fram, config.tex_l0)?;
-        let l1 = read_cache(&mut fram, config.tex_l1)?;
-        gpu.texunit.restore_caches(l0, l1);
+        if fram.u32()? as usize != gpu.stripes.len() {
+            return Err(CheckpointError::Corrupt("stripe count differs from configuration"));
+        }
+        for i in 0..gpu.stripes.len() {
+            let z = read_cache(&mut fram, config.z_cache)?;
+            let color = read_cache(&mut fram, config.color_cache)?;
+            let l0 = read_cache(&mut fram, config.tex_l0)?;
+            let l1 = read_cache(&mut fram, config.tex_l1)?;
+            let s = &mut gpu.stripes[i];
+            s.z_cache = z;
+            s.color_cache = color;
+            s.texunit.restore_caches(l0, l1);
+        }
         if !fram.done() {
             return Err(CheckpointError::Corrupt("trailing bytes in framebuffer section"));
         }

@@ -33,6 +33,7 @@ mod checkpoint;
 mod colorbuffer;
 mod config;
 mod error;
+mod fragment;
 mod gpu;
 mod stats;
 mod streamer;

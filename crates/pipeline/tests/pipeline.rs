@@ -285,7 +285,7 @@ fn textured_draw_samples_and_fills_caches() {
     assert!(f.tex_requests > 9000, "requests = {}", f.tex_requests);
     assert!(f.bilinear_samples >= f.tex_requests);
     assert!(f.fs_tex_instructions > 0);
-    let l0 = c.gpu.texture_unit().l0_stats();
+    let l0 = c.gpu.tex_l0_stats();
     assert!(l0.hit_rate() > 0.5, "L0 hit rate = {}", l0.hit_rate());
     // The image must show the checkerboard (mean luminance mid-grey-ish).
     let lum = c.gpu.framebuffer().mean_luminance();

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::state::CompareFunc;
-use crate::zbuffer::DepthStencilBuffer;
+use crate::zbuffer::{DepthStencilBuffer, ZBandView};
 
 /// The Hierarchical-Z buffer: one conservative *maximum depth* per 8×8
 /// pixel block, held on-die.
@@ -163,6 +163,116 @@ impl HzBuffer {
     pub fn on_die_bytes(&self) -> u64 {
         self.max_z.len() as u64 * 4
     }
+
+    /// Adds per-band test/reject counts gathered by [`HzBandView`]s back
+    /// into the master counters (u64 sums: order-independent).
+    pub fn add_counts(&mut self, tested: u64, rejected: u64) {
+        self.tested += tested;
+        self.rejected += rejected;
+    }
+
+    /// Splits the HZ block grid into disjoint mutable views over horizontal
+    /// bands of `band_rows` pixel rows each, for the stripe-parallel
+    /// fragment pipeline. Each view carries its own test/reject counters;
+    /// fold them back with [`HzBuffer::add_counts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band_rows` is zero or not a multiple of the 8-pixel block
+    /// height.
+    pub fn band_views(&mut self, band_rows: u32) -> Vec<HzBandView<'_>> {
+        assert!(band_rows > 0 && band_rows.is_multiple_of(8), "band rows must be a multiple of 8");
+        let blocks_x = self.blocks_x;
+        let chunk = ((band_rows / 8) * blocks_x) as usize;
+        self.max_z
+            .chunks_mut(chunk.max(1))
+            .zip(self.dirty.chunks_mut(chunk.max(1)))
+            .enumerate()
+            .map(|(i, (max_z, dirty))| HzBandView {
+                blocks_x,
+                y0: i as u32 * band_rows,
+                max_z,
+                dirty,
+                tested: 0,
+                rejected: 0,
+            })
+            .collect()
+    }
+}
+
+/// A mutable view of one horizontal band of an [`HzBuffer`], with private
+/// test/reject counters so parallel workers never contend.
+///
+/// Accessors take *global* pixel coordinates.
+#[derive(Debug)]
+pub struct HzBandView<'a> {
+    blocks_x: u32,
+    y0: u32,
+    max_z: &'a mut [f32],
+    dirty: &'a mut [bool],
+    tested: u64,
+    rejected: u64,
+}
+
+impl HzBandView<'_> {
+    #[inline]
+    fn block_index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(y >= self.y0, "pixel row {y} above band starting at {}", self.y0);
+        let i = (((y - self.y0) / 8) * self.blocks_x + (x / 8)) as usize;
+        debug_assert!(i < self.max_z.len(), "pixel ({x},{y}) outside band");
+        i
+    }
+
+    /// Marks the block containing `(x, y)` dirty after a depth write.
+    #[inline]
+    pub fn note_depth_write(&mut self, x: u32, y: u32) {
+        let i = self.block_index(x, y);
+        self.dirty[i] = true;
+    }
+
+    /// Tests a quad; see [`HzBuffer::test_quad`]. Dirty blocks refresh from
+    /// the band's own slice of the depth buffer.
+    pub fn test_quad(
+        &mut self,
+        x: u32,
+        y: u32,
+        min_z: f32,
+        func: CompareFunc,
+        zbuf: &ZBandView<'_>,
+    ) -> bool {
+        self.tested += 1;
+        let rejectable =
+            matches!(func, CompareFunc::Less | CompareFunc::LessEqual | CompareFunc::Equal);
+        if !rejectable {
+            return true;
+        }
+        let i = self.block_index(x, y);
+        if self.dirty[i] {
+            self.max_z[i] = zbuf.block_max_depth(x, y);
+            self.dirty[i] = false;
+        }
+        let bound = self.max_z[i];
+        let fails = match func {
+            CompareFunc::Less => min_z >= bound,
+            CompareFunc::LessEqual | CompareFunc::Equal => min_z > bound,
+            _ => false,
+        };
+        if fails {
+            self.rejected += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Quads tested through this view.
+    pub fn tested(&self) -> u64 {
+        self.tested
+    }
+
+    /// Quads rejected through this view.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +384,54 @@ mod tests {
         zb.test_and_update(3, 3, 0.41, &DepthState { test: false, write: false, func: CompareFunc::Always }, &StencilState::default());
         // min_z 0.39 < bound -> must pass.
         assert!(hz.test_quad(0, 0, 0.39, CompareFunc::Less, &zb));
+    }
+
+    #[test]
+    fn band_views_match_whole_buffer() {
+        // The same writes + tests through bands give identical decisions,
+        // bounds and (summed) counters as the whole-surface path.
+        let mut zb_w = DepthStencilBuffer::new(16, 32);
+        let mut hz_w = HzBuffer::new(16, 32);
+        write_block(&mut zb_w, &mut hz_w, 0, 0, 0.3);
+        write_block(&mut zb_w, &mut hz_w, 8, 24, 0.6);
+
+        let mut zb_b = DepthStencilBuffer::new(16, 32);
+        let mut hz_b = HzBuffer::new(16, 32);
+        {
+            let mut zbands = zb_b.band_views(16);
+            let mut hbands = hz_b.band_views(16);
+            let d = DepthState::default();
+            let s = StencilState::default();
+            for (x0, y0, z) in [(0u32, 0u32, 0.3f32), (8, 24, 0.6)] {
+                let bi = (y0 / 16) as usize;
+                for y in y0..y0 + 8 {
+                    for x in x0..x0 + 8 {
+                        zbands[bi].test_and_update(x, y, z, &d, &s);
+                        hbands[bi].note_depth_write(x, y);
+                    }
+                }
+            }
+            for (x, y, min_z, func) in [
+                (2u32, 2u32, 0.5f32, CompareFunc::Less),
+                (2, 2, 0.1, CompareFunc::Less),
+                (10, 26, 0.7, CompareFunc::LessEqual),
+                (10, 26, 0.7, CompareFunc::Always),
+            ] {
+                let bi = (y / 16) as usize;
+                assert_eq!(
+                    hbands[bi].test_quad(x, y, min_z, func, &zbands[bi]),
+                    hz_w.test_quad(x, y, min_z, func, &zb_w),
+                    "decision mismatch at ({x},{y})"
+                );
+            }
+            let (tested, rejected) =
+                hbands.iter().fold((0, 0), |(t, r), b| (t + b.tested(), r + b.rejected()));
+            hz_b.add_counts(tested, rejected);
+        }
+        assert_eq!(hz_b.tested(), hz_w.tested());
+        assert_eq!(hz_b.rejected(), hz_w.rejected());
+        assert_eq!(hz_b.snapshot().0, hz_w.snapshot().0, "refreshed bounds identical");
+        assert_eq!(hz_b.snapshot().1, hz_w.snapshot().1, "dirty flags identical");
     }
 
     #[test]

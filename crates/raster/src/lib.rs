@@ -26,10 +26,10 @@ mod vertex;
 mod zbuffer;
 
 pub use clip::{clip_near, ClipResult};
-pub use hz::HzBuffer;
+pub use hz::{HzBandView, HzBuffer};
 pub use setup::TriangleSetup;
 pub use state::{BlendFactor, BlendState, CompareFunc, CullMode, DepthState, FrontFace,
                 PrimitiveType, StencilOp, StencilState};
-pub use traverse::{rasterize, Quad, RasterStats};
+pub use traverse::{rasterize, rasterize_band, Quad, RasterStats};
 pub use vertex::{viewport_transform, ShadedVertex, Viewport, MAX_VARYINGS};
-pub use zbuffer::{DepthStencilBuffer, ZResult};
+pub use zbuffer::{DepthStencilBuffer, ZBandView, ZResult};

@@ -113,13 +113,41 @@ pub fn rasterize<F: FnMut(&Quad)>(
     stats: &mut RasterStats,
     emit: &mut F,
 ) {
+    rasterize_band(setup, vp, 0, vp.height, stats, emit);
+}
+
+/// Rasterizes the part of one triangle falling in pixel rows `[y0, y1)`.
+///
+/// `y0` must be 16-aligned so that 16×16 tiles (and the 8×8 tiles and 2×2
+/// quads inside them) never straddle a band boundary; `y1` is either
+/// 16-aligned or the viewport height. Under that contract, summing the
+/// quads and statistics of a disjoint set of bands covering the viewport is
+/// *exactly* [`rasterize`] over the whole viewport — each 16×16 tile row
+/// belongs to precisely one band. This is what lets the stripe-parallel
+/// fragment pipeline reproduce the serial path bit for bit.
+pub fn rasterize_band<F: FnMut(&Quad)>(
+    setup: &TriangleSetup,
+    vp: &Viewport,
+    y0: u32,
+    y1: u32,
+    stats: &mut RasterStats,
+    emit: &mut F,
+) {
+    debug_assert!(y0.is_multiple_of(16), "band start must be 16-aligned");
+    debug_assert!(y1.is_multiple_of(16) || y1 == vp.height, "band end must be 16-aligned or the bottom");
+    if y1 <= y0 {
+        return;
+    }
     let Some((bx0, by0, bx1, by1)) = setup.pixel_bounds(vp) else {
         return;
     };
     let tx0 = bx0 / 16;
-    let ty0 = by0 / 16;
+    let ty0 = (by0 / 16).max(y0 / 16);
     let tx1 = bx1 / 16;
-    let ty1 = by1 / 16;
+    let ty1 = (by1 / 16).min((y1 - 1) / 16);
+    if ty0 > ty1 {
+        return;
+    }
     for ty in ty0..=ty1 {
         for tx in tx0..=tx1 {
             stats.tiles16 += 1;
@@ -313,6 +341,38 @@ mod tests {
         let (_, stats) = raster_all(&tri, &vp);
         // 8x8 descents should be well below 4x the visited 16x16 tiles.
         assert!(stats.tiles8 < stats.tiles16 * 4, "{} vs {}", stats.tiles8, stats.tiles16);
+    }
+
+    #[test]
+    fn banded_rasterization_equals_whole_viewport() {
+        let vp = Viewport::new(128, 120); // bottom band ends at the viewport edge
+        let tris = [
+            [vert(-0.8, -0.3, 0.0), vert(0.9, -0.7, 0.0), vert(0.1, 0.8, 0.0)],
+            [vert(-0.9, -0.9, 0.0), vert(-0.85, -0.9, 0.0), vert(0.9, 0.9, 0.0)],
+            [vert(0.01, -0.01, 0.0), vert(0.03, -0.01, 0.0), vert(0.02, -0.03, 0.0)],
+        ];
+        for band_rows in [16u32, 32, 48, 128] {
+            for tri in &tris {
+                let setup = TriangleSetup::new(tri, &vp).unwrap();
+                let mut whole_quads = Vec::new();
+                let mut whole_stats = RasterStats::default();
+                rasterize(&setup, &vp, &mut whole_stats, &mut |q| whole_quads.push(*q));
+
+                let mut band_quads = Vec::new();
+                let mut band_stats = RasterStats::default();
+                let mut y = 0;
+                while y < vp.height {
+                    let y1 = (y + band_rows).min(vp.height);
+                    rasterize_band(&setup, &vp, y, y1, &mut band_stats, &mut |q| {
+                        assert!(q.y >= y && q.y < y1, "quad at row {} leaked into band {y}..{y1}", q.y);
+                        band_quads.push(*q);
+                    });
+                    y = y1;
+                }
+                assert_eq!(band_quads, whole_quads, "band_rows={band_rows}");
+                assert_eq!(band_stats, whole_stats, "band_rows={band_rows}");
+            }
+        }
     }
 
     #[test]

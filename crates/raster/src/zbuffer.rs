@@ -18,6 +18,43 @@ pub enum ZResult {
     Pass,
 }
 
+/// The combined stencil + depth test for one pixel's stored state,
+/// shared by [`DepthStencilBuffer::test_and_update`] and
+/// [`ZBandView::test_and_update`] so the banded parallel path and the
+/// whole-surface path cannot drift apart.
+fn test_pixel(
+    depth: &mut f32,
+    stencil: &mut u8,
+    z: f32,
+    ds: &DepthState,
+    ss: &StencilState,
+) -> ZResult {
+    if ss.test {
+        let stored = *stencil;
+        let pass = ss.func.compare(ss.reference & ss.read_mask, stored & ss.read_mask);
+        if !pass {
+            *stencil = ss.fail.apply(stored, ss.reference);
+            return ZResult::StencilFail;
+        }
+    }
+    let depth_pass = !ds.test || ds.func.compare(z, *depth);
+    if !depth_pass {
+        if ss.test {
+            let stored = *stencil;
+            *stencil = ss.zfail.apply(stored, ss.reference);
+        }
+        return ZResult::DepthFail;
+    }
+    if ss.test {
+        let stored = *stencil;
+        *stencil = ss.pass.apply(stored, ss.reference);
+    }
+    if ds.test && ds.write {
+        *depth = z;
+    }
+    ZResult::Pass
+}
+
 /// A `width × height` depth (f32) + stencil (u8) buffer.
 ///
 /// This is the *architectural state*; bandwidth, caching and compression of
@@ -125,32 +162,33 @@ impl DepthStencilBuffer {
         ss: &StencilState,
     ) -> ZResult {
         let i = self.index(x, y);
-        if ss.test {
-            let stored = self.stencil[i];
-            let pass = ss
-                .func
-                .compare(ss.reference & ss.read_mask, stored & ss.read_mask);
-            if !pass {
-                self.stencil[i] = ss.fail.apply(stored, ss.reference);
-                return ZResult::StencilFail;
-            }
-        }
-        let depth_pass = !ds.test || ds.func.compare(z, self.depth[i]);
-        if !depth_pass {
-            if ss.test {
-                let stored = self.stencil[i];
-                self.stencil[i] = ss.zfail.apply(stored, ss.reference);
-            }
-            return ZResult::DepthFail;
-        }
-        if ss.test {
-            let stored = self.stencil[i];
-            self.stencil[i] = ss.pass.apply(stored, ss.reference);
-        }
-        if ds.test && ds.write {
-            self.depth[i] = z;
-        }
-        ZResult::Pass
+        test_pixel(&mut self.depth[i], &mut self.stencil[i], z, ds, ss)
+    }
+
+    /// Splits the buffer into disjoint mutable views over horizontal bands
+    /// of `band_rows` rows each (the last band may be shorter), for the
+    /// stripe-parallel fragment pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band_rows` is zero or not a multiple of the 8-pixel block
+    /// height (a compression/HZ block must never straddle two bands).
+    pub fn band_views(&mut self, band_rows: u32) -> Vec<ZBandView<'_>> {
+        assert!(band_rows > 0 && band_rows.is_multiple_of(8), "band rows must be a multiple of 8");
+        let width = self.width;
+        let chunk = (band_rows * width) as usize;
+        self.depth
+            .chunks_mut(chunk)
+            .zip(self.stencil.chunks_mut(chunk))
+            .enumerate()
+            .map(|(i, (depth, stencil))| ZBandView {
+                width,
+                y0: i as u32 * band_rows,
+                rows: (depth.len() / width as usize) as u32,
+                depth,
+                stencil,
+            })
+            .collect()
     }
 
     /// Maximum stored depth within the 8×8 block containing `(x, y)` —
@@ -179,6 +217,101 @@ impl DepthStencilBuffer {
                 let xx = bx + ix;
                 let yy = by + iy;
                 if xx < self.width && yy < self.height {
+                    out[(iy * 8 + ix) as usize] = self.depth[self.index(xx, yy)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A mutable view of one horizontal band of a [`DepthStencilBuffer`].
+///
+/// All accessors take *global* pixel coordinates; in debug builds the view
+/// asserts they fall inside its band. Semantics are pixel-for-pixel those
+/// of the whole-surface buffer (both call the same test kernel).
+#[derive(Debug)]
+pub struct ZBandView<'a> {
+    width: u32,
+    y0: u32,
+    rows: u32,
+    depth: &'a mut [f32],
+    stencil: &'a mut [u8],
+}
+
+impl ZBandView<'_> {
+    /// First pixel row covered by this band.
+    pub fn y0(&self) -> u32 {
+        self.y0
+    }
+
+    /// Number of pixel rows in this band.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(
+            x < self.width && y >= self.y0 && y < self.y0 + self.rows,
+            "pixel ({x},{y}) outside band rows {}..{}",
+            self.y0,
+            self.y0 + self.rows
+        );
+        ((y - self.y0) * self.width + x) as usize
+    }
+
+    /// Stored depth at a global pixel.
+    #[inline]
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        self.depth[self.index(x, y)]
+    }
+
+    /// Stored stencil at a global pixel.
+    #[inline]
+    pub fn stencil_at(&self, x: u32, y: u32) -> u8 {
+        self.stencil[self.index(x, y)]
+    }
+
+    /// Runs the combined stencil + depth test at a global pixel; see
+    /// [`DepthStencilBuffer::test_and_update`].
+    pub fn test_and_update(
+        &mut self,
+        x: u32,
+        y: u32,
+        z: f32,
+        ds: &DepthState,
+        ss: &StencilState,
+    ) -> ZResult {
+        let i = self.index(x, y);
+        test_pixel(&mut self.depth[i], &mut self.stencil[i], z, ds, ss)
+    }
+
+    /// Maximum stored depth within the 8×8 block containing `(x, y)`; see
+    /// [`DepthStencilBuffer::block_max_depth`].
+    pub fn block_max_depth(&self, x: u32, y: u32) -> f32 {
+        let bx = (x / 8) * 8;
+        let by = (y / 8) * 8;
+        let mut m = 0f32;
+        for yy in by..(by + 8).min(self.y0 + self.rows) {
+            for xx in bx..(bx + 8).min(self.width) {
+                m = m.max(self.depth[self.index(xx, yy)]);
+            }
+        }
+        m
+    }
+
+    /// Depth values of the 8×8 block containing `(x, y)`, padded with the
+    /// clear value; see [`DepthStencilBuffer::block_depths`].
+    pub fn block_depths(&self, x: u32, y: u32) -> [f32; 64] {
+        let bx = (x / 8) * 8;
+        let by = (y / 8) * 8;
+        let mut out = [1.0f32; 64];
+        for iy in 0..8 {
+            for ix in 0..8 {
+                let xx = bx + ix;
+                let yy = by + iy;
+                if xx < self.width && yy < self.y0 + self.rows {
                     out[(iy * 8 + ix) as usize] = self.depth[self.index(xx, yy)];
                 }
             }
@@ -315,6 +448,42 @@ mod tests {
         assert!((b.block_max_depth(3, 3) - 0.3).abs() < 1e-6);
         // A different block is unaffected.
         assert_eq!(b.block_max_depth(8, 0), 1.0);
+    }
+
+    #[test]
+    fn band_views_match_whole_surface_semantics() {
+        let mut whole = DepthStencilBuffer::new(16, 24);
+        let mut banded = DepthStencilBuffer::new(16, 24);
+        let d = ds();
+        let s = no_stencil();
+        let samples = [(0u32, 0u32, 0.5f32), (3, 7, 0.2), (15, 8, 0.9), (8, 15, 0.1), (0, 23, 0.4)];
+        {
+            let mut bands = banded.band_views(8);
+            assert_eq!(bands.len(), 3);
+            for &(x, y, z) in &samples {
+                let band = &mut bands[(y / 8) as usize];
+                assert_eq!(
+                    band.test_and_update(x, y, z, &d, &s),
+                    whole.test_and_update(x, y, z, &d, &s),
+                    "at ({x},{y})"
+                );
+            }
+            assert!((bands[0].block_max_depth(3, 7) - whole.block_max_depth(3, 7)).abs() < 1e-9);
+            assert_eq!(bands[1].block_depths(8, 15), whole.block_depths(8, 15));
+        }
+        assert_eq!(whole, banded, "views write through to the same state");
+    }
+
+    #[test]
+    fn band_views_short_last_band() {
+        let mut b = DepthStencilBuffer::new(8, 20); // bands of 16 -> 16 + 4 rows
+        let bands = b.band_views(16);
+        assert_eq!(bands.len(), 2);
+        assert_eq!(bands[0].rows(), 16);
+        assert_eq!(bands[1].rows(), 4);
+        assert_eq!(bands[1].y0(), 16);
+        // Edge block padded with the clear value like the whole surface.
+        assert_eq!(bands[1].block_depths(0, 19)[63], 1.0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! assumed frame rate (`BW @ 100fps` in Tables III and XV). These helpers
 //! centralize those conversions and their display formatting.
 
+use serde::{Deserialize, Serialize};
+
 /// Bytes in a megabyte (the paper uses decimal-ish MB for bandwidth; we use
 /// binary MiB consistently, which only shifts absolute numbers by ~5%).
 pub const MB: f64 = 1024.0 * 1024.0;
@@ -71,6 +73,77 @@ pub fn system_bus_table() -> Vec<(&'static str, u32, f64, f64)> {
     ]
 }
 
+/// An exact, mergeable byte-traffic accumulator.
+///
+/// Counts are integral so that sharded accumulation is bit-identical to
+/// single-stream accumulation under any merge order — the invariant the
+/// parallel fragment pipeline's per-worker shards rely on. Conversion to
+/// floating-point rates happens only at presentation time.
+///
+/// ```
+/// use gwc_stats::BandwidthCounter;
+///
+/// let mut a = BandwidthCounter::new();
+/// a.record(256);
+/// let mut b = BandwidthCounter::new();
+/// b.record(64);
+/// a.merge(&b);
+/// assert_eq!(a.bytes(), 320);
+/// assert_eq!(a.transactions(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BandwidthCounter {
+    bytes: u64,
+    transactions: u64,
+}
+
+impl BandwidthCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        BandwidthCounter::default()
+    }
+
+    /// Records one transaction of `bytes` bytes. Zero-byte transactions are
+    /// ignored (they move no data and occupy no bus slot).
+    pub fn record(&mut self, bytes: u64) {
+        if bytes > 0 {
+            self.bytes += bytes;
+            self.transactions += 1;
+        }
+    }
+
+    /// Adds another counter's traffic into this one (associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &BandwidthCounter) {
+        self.bytes += other.bytes;
+        self.transactions += other.transactions;
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of non-empty transactions recorded.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Mean transaction size in bytes; `0.0` when empty.
+    pub fn mean_transaction_bytes(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.transactions as f64
+        }
+    }
+
+    /// Traffic as MB/s treating the accumulated bytes as one frame at `fps`.
+    pub fn mb_per_second(&self, fps: f64) -> f64 {
+        mb_per_second(self.bytes as f64, fps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +160,21 @@ mod tests {
         assert_eq!(format_bytes(2048.0), "2.00 KB");
         assert_eq!(format_bytes(3.0 * GB), "3.00 GB");
         assert_eq!(format_rate(MB), "1.00 MB/s");
+    }
+
+    #[test]
+    fn counter_merge_is_exact() {
+        let mut shard_a = BandwidthCounter::new();
+        let mut shard_b = BandwidthCounter::new();
+        let mut serial = BandwidthCounter::new();
+        for (i, bytes) in [256u64, 64, 0, 192, 256, 0, 64].iter().enumerate() {
+            if i % 2 == 0 { shard_a.record(*bytes) } else { shard_b.record(*bytes) }
+            serial.record(*bytes);
+        }
+        shard_a.merge(&shard_b);
+        assert_eq!(shard_a, serial);
+        assert_eq!(serial.transactions(), 5);
+        assert!((serial.mean_transaction_bytes() - 832.0 / 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -76,6 +76,34 @@ impl Histogram {
         self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
     }
 
+    /// Merges another histogram into this one bin by bin.
+    ///
+    /// Merging is associative and commutative: sharded workers can each
+    /// record into a private histogram and any reduction order yields the
+    /// exact counts a single-stream accumulation would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different range or bin geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram geometry mismatch: [{}, {})x{} vs [{}, {})x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile `q in [0,1]` using linear interpolation within
     /// the containing bin; returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -151,6 +179,27 @@ mod tests {
     #[should_panic(expected = "invalid histogram range")]
     fn bad_range_panics() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        let mut all = Histogram::new(0.0, 10.0, 5);
+        for (i, x) in [-1.0, 0.5, 3.3, 9.9, 12.0, 4.4, 7.7].iter().enumerate() {
+            if i % 2 == 0 { a.record(*x) } else { b.record(*x) }
+            all.record(*x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_geometry_mismatch_panics() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod running;
 mod series;
 mod table;
 
+pub use bandwidth::BandwidthCounter;
 pub use histogram::Histogram;
 pub use running::RunningStat;
 pub use series::{ascii_chart, TimeSeries};

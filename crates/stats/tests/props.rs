@@ -1,0 +1,195 @@
+//! Property tests for the mergeable accumulators.
+//!
+//! The parallel fragment pipeline shards statistics across workers and
+//! reduces them with `merge`; these properties pin down the contract that
+//! makes that reduction deterministic: merging shards in any grouping or
+//! order equals accumulating the same samples in a single stream.
+
+use gwc_stats::{BandwidthCounter, Histogram, RunningStat};
+use proptest::prelude::*;
+
+/// Splits `samples` into `shards` round-robin shards.
+fn shard<T: Copy>(samples: &[T], shards: usize) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new(); shards.max(1)];
+    for (i, &s) in samples.iter().enumerate() {
+        out[i % shards.max(1)].push(s);
+    }
+    out
+}
+
+proptest! {
+    /// RunningStat: sharded accumulation + merge == single-stream, and the
+    /// merge is commutative.
+    #[test]
+    fn running_stat_merge_matches_single_stream(
+        samples in prop::collection::vec(-1000.0f64..1000.0, 0..200),
+        shards in 1usize..6,
+    ) {
+        let mut serial = RunningStat::new();
+        for &x in &samples {
+            serial.push(x);
+        }
+        let parts: Vec<RunningStat> = shard(&samples, shards)
+            .iter()
+            .map(|chunk| chunk.iter().copied().collect())
+            .collect();
+        // Left-to-right reduction.
+        let mut fwd = RunningStat::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        // Right-to-left reduction (commutativity with ordering).
+        let mut rev = RunningStat::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        for m in [&fwd, &rev] {
+            prop_assert_eq!(m.count(), serial.count());
+            // Sums are fp additions in permuted order: exact for count/min/
+            // max, tolerance-bounded for the floating sums.
+            prop_assert!((m.sum() - serial.sum()).abs() <= 1e-6 * (1.0 + serial.sum().abs()));
+            prop_assert_eq!(m.min(), serial.min());
+            prop_assert_eq!(m.max(), serial.max());
+        }
+    }
+
+    /// RunningStat merge is associative: (a+b)+c == a+(b+c) bit-for-bit on
+    /// counts and min/max.
+    #[test]
+    fn running_stat_merge_associative(
+        a in prop::collection::vec(-50.0f64..50.0, 0..50),
+        b in prop::collection::vec(-50.0f64..50.0, 0..50),
+        c in prop::collection::vec(-50.0f64..50.0, 0..50),
+    ) {
+        let sa: RunningStat = a.iter().copied().collect();
+        let sb: RunningStat = b.iter().copied().collect();
+        let sc: RunningStat = c.iter().copied().collect();
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * (1.0 + left.sum().abs()));
+    }
+
+    /// Histogram: integral counts make sharded merge EXACTLY equal to the
+    /// single stream, for every shard count and either reduction order.
+    #[test]
+    fn histogram_merge_matches_single_stream(
+        samples in prop::collection::vec(-5.0f64..15.0, 0..300),
+        shards in 1usize..6,
+    ) {
+        let mut serial = Histogram::new(0.0, 10.0, 8);
+        for &x in &samples {
+            serial.record(x);
+        }
+        let parts: Vec<Histogram> = shard(&samples, shards)
+            .iter()
+            .map(|chunk| {
+                let mut h = Histogram::new(0.0, 10.0, 8);
+                for &x in chunk {
+                    h.record(x);
+                }
+                h
+            })
+            .collect();
+        let mut fwd = Histogram::new(0.0, 10.0, 8);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new(0.0, 10.0, 8);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&fwd, &serial);
+        prop_assert_eq!(&rev, &serial);
+    }
+
+    /// Histogram merge is associative bit-for-bit.
+    #[test]
+    fn histogram_merge_associative(
+        a in prop::collection::vec(0.0f64..10.0, 0..80),
+        b in prop::collection::vec(0.0f64..10.0, 0..80),
+        c in prop::collection::vec(0.0f64..10.0, 0..80),
+    ) {
+        let build = |xs: &[f64]| {
+            let mut h = Histogram::new(0.0, 10.0, 16);
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// BandwidthCounter: all-integer state, so any shard count and any merge
+    /// order is bit-identical to single-stream accumulation.
+    #[test]
+    fn bandwidth_counter_merge_matches_single_stream(
+        txs in prop::collection::vec(0u64..4096, 0..300),
+        shards in 1usize..6,
+    ) {
+        let mut serial = BandwidthCounter::new();
+        for &b in &txs {
+            serial.record(b);
+        }
+        let parts: Vec<BandwidthCounter> = shard(&txs, shards)
+            .iter()
+            .map(|chunk| {
+                let mut c = BandwidthCounter::new();
+                for &b in chunk {
+                    c.record(b);
+                }
+                c
+            })
+            .collect();
+        let mut fwd = BandwidthCounter::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = BandwidthCounter::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(fwd, serial);
+        prop_assert_eq!(rev, serial);
+    }
+
+    /// BandwidthCounter merge is associative bit-for-bit.
+    #[test]
+    fn bandwidth_counter_merge_associative(
+        a in prop::collection::vec(0u64..1024, 0..60),
+        b in prop::collection::vec(0u64..1024, 0..60),
+        c in prop::collection::vec(0u64..1024, 0..60),
+    ) {
+        let build = |xs: &[u64]| {
+            let mut k = BandwidthCounter::new();
+            for &x in xs {
+                k.record(x);
+            }
+            k
+        };
+        let (ka, kb, kc) = (build(&a), build(&b), build(&c));
+        let mut left = ka;
+        left.merge(&kb);
+        left.merge(&kc);
+        let mut bc = kb;
+        bc.merge(&kc);
+        let mut right = ka;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -40,8 +40,8 @@ fn print_summary(name: &str, gpu: &Gpu) {
     eprintln!(
         "  bilinears/req {:.2} | tex L0 {:.3} L1 {:.3} | z$ {:.3} c$ {:.3}",
         t.bilinears_per_request(),
-        gpu.texture_unit().l0_stats().hit_rate(),
-        gpu.texture_unit().l1_stats().hit_rate(),
+        gpu.tex_l0_stats().hit_rate(),
+        gpu.tex_l1_stats().hit_rate(),
         gpu.z_cache_stats().hit_rate(),
         gpu.color_cache_stats().hit_rate()
     );

@@ -99,7 +99,7 @@ fn main() {
     );
     println!(
         "  texture L0 hit rate  : {:.1}%",
-        100.0 * gpu.texture_unit().l0_stats().hit_rate()
+        100.0 * gpu.tex_l0_stats().hit_rate()
     );
     let mem = gpu.memory().frames()[0];
     println!("  memory traffic       : {} bytes ({} read / {} written)",

@@ -1,0 +1,160 @@
+//! Parallel fragment pipeline determinism: any worker count must produce
+//! bit-identical statistics, framebuffer contents, and checkpoint blobs to
+//! the serial path, because the stripe partitioning is fixed by the
+//! configuration (`stripe_rows`) and never by the thread count.
+
+use gwc::api::{CommandSink, Device, Trace};
+use gwc::pipeline::{CheckpointError, Gpu, GpuConfig};
+use gwc::workloads::{GameProfile, Timedemo, TimedemoConfig};
+
+fn record(name: &str, frames: u32) -> Trace {
+    let profile = GameProfile::by_name(name).unwrap();
+    let mut demo = Timedemo::new(profile, TimedemoConfig { frames, seed: 0x5EED });
+    let mut device = Device::new();
+    struct Rec<'a>(&'a mut Device);
+    impl CommandSink for Rec<'_> {
+        fn consume(&mut self, c: &gwc::api::Command) {
+            self.0.submit(c.clone()).unwrap();
+        }
+    }
+    demo.emit_all(&mut Rec(&mut device));
+    device.into_trace()
+}
+
+fn config_with_threads(width: u32, height: u32, threads: u32) -> GpuConfig {
+    let mut config = GpuConfig::r520(width, height);
+    config.threads = threads;
+    config
+}
+
+/// Replays a trace on `threads` workers and returns the final GPU.
+fn run(trace: &Trace, width: u32, height: u32, threads: u32) -> Gpu {
+    run_striped(trace, width, height, threads, 32)
+}
+
+/// As [`run`], with an explicit stripe height.
+fn run_striped(trace: &Trace, width: u32, height: u32, threads: u32, stripe_rows: u32) -> Gpu {
+    let mut config = config_with_threads(width, height, threads);
+    config.stripe_rows = stripe_rows;
+    let mut gpu = Gpu::new(config);
+    assert_eq!(gpu.threads(), threads, "explicit thread count wins over the environment");
+    trace.replay(&mut gpu);
+    gpu
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let trace = record("Doom3/trdemo2", 3);
+    let serial = run(&trace, 128, 96, 1);
+    let reference = serial.save_checkpoint();
+    for threads in [2, 4, 8] {
+        let parallel = run(&trace, 128, 96, threads);
+        assert_eq!(serial.stats(), parallel.stats(), "{threads} threads: SimStats drifted");
+        assert_eq!(
+            serial.framebuffer_crc(),
+            parallel.framebuffer_crc(),
+            "{threads} threads: framebuffer drifted"
+        );
+        assert_eq!(serial.memory().frames(), parallel.memory().frames());
+        assert_eq!(reference, parallel.save_checkpoint(), "{threads} threads: state drifted");
+    }
+}
+
+#[test]
+fn all_twelve_profiles_are_thread_count_invariant() {
+    for profile in GameProfile::all() {
+        // 48 rows at 16-row stripes → three stripes, so four workers race
+        // over a genuinely partitioned framebuffer at smoke-test cost.
+        let trace = record(profile.name, 2);
+        let serial = run_striped(&trace, 64, 48, 1, 16);
+        let parallel = run_striped(&trace, 64, 48, 4, 16);
+        assert_eq!(
+            serial.stats(),
+            parallel.stats(),
+            "{}: SimStats differ between 1 and 4 threads",
+            profile.name
+        );
+        assert_eq!(
+            serial.framebuffer_crc(),
+            parallel.framebuffer_crc(),
+            "{}: framebuffer differs between 1 and 4 threads",
+            profile.name
+        );
+        assert_eq!(
+            serial.save_checkpoint(),
+            parallel.save_checkpoint(),
+            "{}: checkpoint blobs differ between 1 and 4 threads",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn checkpoint_restore_mid_run_is_thread_count_invariant() {
+    let trace = record("Quake4/demo4", 4);
+    let serial = run(&trace, 96, 72, 1);
+    let reference = serial.save_checkpoint();
+
+    for threads in [1, 2, 4, 8] {
+        // Interrupt after two frames, checkpoint, restore, finish.
+        let mut head = Gpu::new(config_with_threads(96, 72, threads));
+        trace.replay_frames(2, &mut head);
+        let blob = head.save_checkpoint();
+        drop(head);
+
+        let mut tail =
+            Gpu::restore_checkpoint(config_with_threads(96, 72, threads), &blob).expect("restores");
+        trace.replay_from(2, &mut tail);
+        assert_eq!(serial.stats(), tail.stats(), "{threads} threads after restore");
+        assert_eq!(serial.framebuffer_crc(), tail.framebuffer_crc(), "{threads} threads");
+        assert_eq!(reference, tail.save_checkpoint(), "{threads} threads after restore");
+    }
+}
+
+/// A checkpoint written by a serial run restores into a parallel run (and
+/// vice versa): the blob records the stripe layout, not the worker count,
+/// so `repro replay --resume` with any `GWC_THREADS` lands in the same
+/// partitioning and replays bit-identically.
+#[test]
+fn resume_across_thread_counts_is_bit_identical() {
+    let trace = record("Riddick/PrisonArea", 4);
+    let serial = run(&trace, 96, 72, 1);
+    let reference = serial.save_checkpoint();
+
+    // Serial head, parallel tail — and the reverse.
+    for (head_threads, tail_threads) in [(1, 8), (8, 1), (2, 4)] {
+        let mut head = Gpu::new(config_with_threads(96, 72, head_threads));
+        trace.replay_frames(2, &mut head);
+        let blob = head.save_checkpoint();
+
+        let mut tail = Gpu::restore_checkpoint(config_with_threads(96, 72, tail_threads), &blob)
+            .expect("thread count is not part of the persistent state");
+        assert_eq!(tail.threads(), tail_threads);
+        trace.replay_from(2, &mut tail);
+        assert_eq!(
+            reference,
+            tail.save_checkpoint(),
+            "head at {head_threads} threads, tail at {tail_threads} threads"
+        );
+    }
+}
+
+/// The stripe layout *is* persistent state: restoring a checkpoint under a
+/// different `stripe_rows` would scatter the per-stripe caches across the
+/// wrong framebuffer bands, so it must be refused, not guessed at.
+#[test]
+fn stripe_layout_mismatch_is_rejected() {
+    let trace = record("Doom3/trdemo2", 2);
+    let mut gpu = Gpu::new(GpuConfig::r520(96, 72));
+    trace.replay_frames(1, &mut gpu);
+    let blob = gpu.save_checkpoint();
+
+    let mut other = GpuConfig::r520(96, 72);
+    other.stripe_rows = 16;
+    match Gpu::restore_checkpoint(other, &blob) {
+        Err(CheckpointError::Corrupt(msg)) => {
+            assert!(msg.contains("stripe"), "error names the stripe layout: {msg}")
+        }
+        other => panic!("expected a stripe-layout rejection, got {other:?}"),
+    }
+}
