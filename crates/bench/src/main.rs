@@ -5,10 +5,20 @@
 //! cargo run -p gwc-bench --release --bin repro -- table9 fig5 --quick
 //! cargo run -p gwc-bench --release --bin repro -- all --paper   # 1024x768, slow
 //! cargo run -p gwc-bench --release --bin repro -- ablations
+//! cargo run -p gwc-bench --release --bin repro -- campaign --dir night1
+//! cargo run -p gwc-bench --release --bin repro -- campaign --dir night1 --resume
 //! ```
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
 use gwc_api::CommandSink;
-use gwc_core::{figures, run_study, tables, RunConfig, Study};
+use gwc_core::{figures, tables, RunConfig, Study};
+use gwc_harness::{
+    run_campaign, CampaignOptions, ChaosRunner, JobReport, JobRunner, Outcome, Rung, Supervisor,
+    SupervisorConfig, REPORT_FILE,
+};
 use gwc_pipeline::{Gpu, GpuConfig};
 use gwc_stats::Table;
 
@@ -21,17 +31,24 @@ experiments:
   ablations            design-choice studies (HZ, compression, vertex
                        cache size, filtering level)
   replay               replay one timedemo through the simulator (see
-                       --game, --checkpoint-every, --resume)
+                       --game, --checkpoint-every, --resume FILE)
   parallel             time the fragment pipeline serial vs --threads
                        workers, verify bit-identical results, and record
                        the honest numbers in BENCH_parallel.json
+  campaign             the full supervised campaign: characterize all
+                       twelve games, checkpointed replays of the simulated
+                       demos, and the ablation sweep — with panic
+                       isolation, watchdog deadlines, bounded retry, and a
+                       degradation ladder; progress persists to
+                       <dir>/campaign.json for --resume
 
 options:
   --threads N          fragment-pipeline worker threads (default: the
                        GWC_THREADS environment variable, else 1 for
                        replay / all host cores for parallel)
   --paper              full setting: 2000 API frames, 8 simulated frames
-                       at 1024x768 (minutes of runtime)
+                       at 1024x768 (minutes of runtime); campaigns start
+                       at the top of the degradation ladder
   --quick              small setting for smoke tests
   --api-frames N       API-level frames (default 300)
   --sim-frames N       simulated frames (default 4)
@@ -44,7 +61,30 @@ replay options:
                        repro-<game>-frame<K>.gwck
   --resume FILE        restore GPU state from a GWCK checkpoint and replay
                        only the remaining frames; statistics are
-                       bit-identical to an uninterrupted run";
+                       bit-identical to an uninterrupted run
+
+campaign / supervision options:
+  --dir PATH           campaign directory (default: campaign)
+  --resume             (no FILE) resume an interrupted campaign from its
+                       manifest, re-running only unfinished jobs
+  --fail-fast          stop admitting jobs after the first failed one
+  --keep-going         admit every job regardless of failures (default)
+  --max-retries N      extra attempts per ladder rung (default 2)
+  --deadline-ms N      wall-clock deadline per attempt (default 300000)
+  --work-budget N      pipeline work-tick budget per attempt (default none)
+  --breaker N          consecutive failures on one game before its circuit
+                       breaker opens and later jobs for that game are
+                       skipped (default 3; 0 disables)
+  --backoff-ms N       base retry backoff, doubling with seeded full
+                       jitter (default 100)
+  --chaos SEED         deterministically inject panics, hangs, and typed
+                       failures into jobs (exercises the supervisor)
+  --stop-after N       stop — as if killed — after executing N jobs
+                       (exercises --resume)
+
+exit status: 0 all experiments succeeded; 1 at least one supervised job
+ended timed-out, panicked, or skipped (or a campaign was interrupted);
+2 malformed invocation or unusable input file";
 
 fn help() -> ! {
     println!("{USAGE}");
@@ -62,22 +102,58 @@ fn bad_arg(message: String) -> ! {
 struct Options {
     experiments: Vec<String>,
     config: RunConfig,
+    rung: Rung,
     csv: bool,
     game: String,
     checkpoint_every: Option<u32>,
-    resume: Option<String>,
+    resume_file: Option<String>,
     threads: u32,
+    dir: String,
+    campaign_resume: bool,
+    fail_fast: bool,
+    max_retries: u32,
+    deadline_ms: u64,
+    work_budget: Option<u64>,
+    breaker: u32,
+    backoff_ms: u64,
+    chaos: Option<u64>,
+    stop_after: Option<usize>,
+}
+
+impl Options {
+    /// The active configuration: the degradation-ladder rung selected by
+    /// `--paper`/`--quick` applied to the parsed base config.
+    fn run_config(&self) -> RunConfig {
+        self.rung.apply(&self.config)
+    }
+}
+
+fn is_experiment_name(s: &str) -> bool {
+    matches!(s, "all" | "ablations" | "replay" | "parallel" | "campaign")
+        || s.starts_with("table")
+        || s.starts_with("fig")
 }
 
 fn parse_args() -> Options {
     let mut experiments = Vec::new();
     let mut config =
         RunConfig { api_frames: 300, sim_frames: 4, width: 640, height: 480, seed: 0x5EED };
+    let mut rung = Rung::Default;
     let mut csv = false;
     let mut game = "Doom3/trdemo2".to_string();
     let mut checkpoint_every = None;
-    let mut resume = None;
+    let mut resume_file = None;
     let mut threads = 0u32;
+    let mut dir = "campaign".to_string();
+    let mut campaign_resume = false;
+    let mut fail_fast = false;
+    let mut max_retries = 2u32;
+    let mut deadline_ms = 300_000u64;
+    let mut work_budget = None;
+    let mut breaker = 3u32;
+    let mut backoff_ms = 100u64;
+    let mut chaos = None;
+    let mut stop_after = None;
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -92,8 +168,8 @@ fn parse_args() -> Options {
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--paper" => config = RunConfig::paper(),
-            "--quick" => config = RunConfig::quick(),
+            "--paper" => rung = Rung::Paper,
+            "--quick" => rung = Rung::Quick,
             "--csv" => csv = true,
             "--api-frames" => {
                 config.api_frames = parse(&arg, value(&mut args, &arg), "a frame count")
@@ -117,9 +193,44 @@ fn parse_args() -> Options {
                 }
                 checkpoint_every = Some(n);
             }
-            "--resume" => resume = Some(value(&mut args, &arg)),
+            "--resume" => {
+                // `--resume FILE` resumes a replay from a checkpoint;
+                // bare `--resume` resumes a campaign from its manifest.
+                match args.peek() {
+                    Some(v) if !v.starts_with('-') && !is_experiment_name(v) => {
+                        resume_file = Some(value(&mut args, &arg));
+                    }
+                    _ => campaign_resume = true,
+                }
+            }
             "--threads" => {
                 threads = parse(&arg, value(&mut args, &arg), "a worker thread count")
+            }
+            "--dir" => dir = value(&mut args, &arg),
+            "--fail-fast" => fail_fast = true,
+            "--keep-going" => fail_fast = false,
+            "--max-retries" => {
+                max_retries = parse(&arg, value(&mut args, &arg), "a retry count")
+            }
+            "--deadline-ms" => {
+                let n: u64 = parse(&arg, value(&mut args, &arg), "a positive millisecond count");
+                if n == 0 {
+                    bad_arg("invalid value '0' for '--deadline-ms' (expected a positive millisecond count)".into());
+                }
+                deadline_ms = n;
+            }
+            "--work-budget" => {
+                work_budget = Some(parse(&arg, value(&mut args, &arg), "a tick count"))
+            }
+            "--breaker" => {
+                breaker = parse(&arg, value(&mut args, &arg), "a failure count")
+            }
+            "--backoff-ms" => {
+                backoff_ms = parse(&arg, value(&mut args, &arg), "a millisecond count")
+            }
+            "--chaos" => chaos = Some(parse(&arg, value(&mut args, &arg), "a seed")),
+            "--stop-after" => {
+                stop_after = Some(parse(&arg, value(&mut args, &arg), "a job count"))
             }
             "--help" | "-h" => help(),
             e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
@@ -129,7 +240,83 @@ fn parse_args() -> Options {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, config, csv, game, checkpoint_every, resume, threads }
+    Options {
+        experiments,
+        config,
+        rung,
+        csv,
+        game,
+        checkpoint_every,
+        resume_file,
+        threads,
+        dir,
+        campaign_resume,
+        fail_fast,
+        max_retries,
+        deadline_ms,
+        work_budget,
+        breaker,
+        backoff_ms,
+        chaos,
+        stop_after,
+    }
+}
+
+fn supervisor_config(options: &Options) -> SupervisorConfig {
+    SupervisorConfig {
+        seed: options.chaos.unwrap_or(0x5EED),
+        max_retries: options.max_retries,
+        deadline: Duration::from_millis(options.deadline_ms),
+        grace: Duration::from_millis((options.deadline_ms / 4).clamp(50, 2_000)),
+        work_budget: options.work_budget,
+        backoff_base_ms: options.backoff_ms,
+        backoff_cap_ms: options.backoff_ms.saturating_mul(50),
+        breaker_threshold: options.breaker,
+        ladder: true,
+        fail_fast: options.fail_fast,
+    }
+}
+
+/// Builds the supervisor over the real runner, wrapping it in chaos
+/// injection when `--chaos` asks for it. Returns the concrete runner too
+/// so callers can drain collected characterizations.
+fn build_supervisor(options: &Options) -> (Supervisor, Arc<gwc_bench::ReproRunner>) {
+    let runner = Arc::new(gwc_bench::ReproRunner::new());
+    let dyn_runner: Arc<dyn JobRunner> = match options.chaos {
+        Some(seed) => Arc::new(ChaosRunner::new(Arc::clone(&runner) as Arc<dyn JobRunner>, seed)),
+        None => Arc::clone(&runner) as Arc<dyn JobRunner>,
+    };
+    (Supervisor::new(supervisor_config(options), dyn_runner), runner)
+}
+
+/// Prints the per-job outcome summary (stderr, to keep table output
+/// clean) and returns whether every job produced a usable result.
+fn report_outcomes(reports: &[JobReport]) -> bool {
+    if reports.iter().any(|r| r.outcome != Outcome::Ok) {
+        for r in reports {
+            eprintln!("{}", r.summary_line());
+        }
+    }
+    let failed = reports.iter().filter(|r| !r.outcome.is_success()).count();
+    if failed > 0 {
+        eprintln!("repro: {failed} of {} supervised jobs produced no result", reports.len());
+    }
+    failed == 0
+}
+
+/// The supervised form of `run_study`: every game runs as an isolated
+/// job; panics, hangs, and failures cost that game's rows, not the run.
+fn build_study(options: &Options) -> (Study, bool) {
+    let config = options.run_config();
+    eprintln!(
+        "running study: {} API frames, {} simulated frames at {}x{}...",
+        config.api_frames, config.sim_frames, config.width, config.height
+    );
+    let (supervisor, runner) = build_supervisor(options);
+    let jobs = gwc_bench::study_jobs(options.config, options.rung);
+    let reports = supervisor.run_jobs(&jobs);
+    let ok = report_outcomes(&reports);
+    (runner.into_study(config), ok)
 }
 
 fn print_table(t: &Table, csv: bool) {
@@ -225,115 +412,21 @@ fn run_experiment(study: &Study, name: &str, csv: bool) -> bool {
     }
 }
 
+/// Rejects an unknown `--game`, listing the valid Table I names.
+fn require_game(name: &str) {
+    if gwc_workloads::GameProfile::by_name(name).is_none() {
+        bad_arg(format!(
+            "unknown game '{name}' for '--game'; valid Table I timedemos:\n{}",
+            gwc_bench::game_name_list()
+        ));
+    }
+}
+
 /// Design-choice ablations the paper's discussion motivates.
-fn run_ablations(config: &RunConfig) {
-    let (w, h, frames) = (config.width, config.height, config.sim_frames.max(2));
-    println!("== Ablations (Doom3/trdemo2, {frames} frames at {w}x{h}) ==\n");
-
-    // 1. Hierarchical Z on/off: fragments reaching the z&stencil stage.
-    let stats = |gpu: &gwc_pipeline::Gpu| {
-        let t = *gpu.stats().totals();
-        let mem = gpu.memory().total();
-        (t, mem)
-    };
-    let (base_t, base_m) = stats(&gwc_bench::simulate("Doom3/trdemo2", frames, w, h));
-    let (nohz_t, nohz_m) =
-        stats(&gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| c.hierarchical_z = false));
-    let mut t = Table::new("HZ ablation", &["configuration", "frags @ z&stencil", "z&stencil MB", "total MB"]);
-    t.numeric();
-    let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
-    t.row(vec![
-        "HZ enabled".into(),
-        base_t.frags_zst.to_string(),
-        mb(base_m.client(gwc_mem::MemClient::ZStencil).total()),
-        mb(base_m.total()),
-    ]);
-    t.row(vec![
-        "HZ disabled".into(),
-        nohz_t.frags_zst.to_string(),
-        mb(nohz_m.client(gwc_mem::MemClient::ZStencil).total()),
-        mb(nohz_m.total()),
-    ]);
-    println!("{}", t.to_ascii());
-
-    // 2. Z/color compression on/off.
-    let (nocomp_t, nocomp_m) = stats(&gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| {
-        c.z_compression = false;
-        c.color_compression = false;
-    }));
-    let _ = nocomp_t;
-    let mut t = Table::new("Framebuffer compression ablation", &["configuration", "z&stencil MB", "color MB", "total MB"]);
-    t.numeric();
-    t.row(vec![
-        "fast clear + compression".into(),
-        mb(base_m.client(gwc_mem::MemClient::ZStencil).total()),
-        mb(base_m.client(gwc_mem::MemClient::Color).total()),
-        mb(base_m.total()),
-    ]);
-    t.row(vec![
-        "uncompressed".into(),
-        mb(nocomp_m.client(gwc_mem::MemClient::ZStencil).total()),
-        mb(nocomp_m.client(gwc_mem::MemClient::Color).total()),
-        mb(nocomp_m.total()),
-    ]);
-    println!("{}", t.to_ascii());
-
-    // 3. Post-transform vertex cache size sweep (Section III.B / Fig 5).
-    let mut t = Table::new("Vertex cache size sweep", &["entries", "hit rate", "vertices shaded"]);
-    t.numeric();
-    for entries in [4usize, 8, 16, 32, 64] {
-        let gpu = gwc_bench::simulate_with("Doom3/trdemo2", frames, w, h, |c| {
-            c.vertex_cache_entries = entries;
-        });
-        let s = gpu.stats().totals();
-        t.row(vec![
-            entries.to_string(),
-            format!("{:.1}%", 100.0 * s.vertex_cache_hit_rate()),
-            s.shaded_vertices.to_string(),
-        ]);
-    }
-    println!("{}", t.to_ascii());
-
-    // 4. Filtering level sweep: dynamic cost per texture request
-    // (Table XIII's key trade-off), measured on a glancing footprint mix.
-    use gwc_math::{Vec2, Vec4};
-    use gwc_texture::{FilterMode, Image, NoopTracker, SampleStats, SamplerState, TexFormat,
-                      Texture, WrapMode};
-    let mut vram = gwc_mem::AddressSpace::new();
-    let texture = Texture::from_image(&Image::noise(512, 512, 7), TexFormat::Dxt1, true, &mut vram);
-    let mut t = Table::new(
-        "Texture filtering sweep (glancing + oblique footprints)",
-        &["filter", "bilinears/request"],
-    );
-    t.numeric();
-    let filters = [
-        ("bilinear", FilterMode::Bilinear),
-        ("trilinear", FilterMode::Trilinear),
-        ("aniso 2x", FilterMode::Anisotropic(2)),
-        ("aniso 4x", FilterMode::Anisotropic(4)),
-        ("aniso 8x", FilterMode::Anisotropic(8)),
-        ("aniso 16x", FilterMode::Anisotropic(16)),
-    ];
-    for (name, filter) in filters {
-        let sampler = SamplerState { wrap: WrapMode::Repeat, filter, lod_bias: 0.0 };
-        let mut stats = SampleStats::default();
-        for i in 0..256 {
-            // A mix of isotropic and up-to-24:1 anisotropic footprints.
-            let ratio = 1.0 + (i % 16) as f32 * 1.5;
-            let base = Vec2::new(0.003 * i as f32, 0.002 * i as f32);
-            let du = ratio * 2.0 / 512.0;
-            let dv = 2.0 / 512.0;
-            let coords = [
-                Vec4::new(base.x, base.y, 0.0, 1.0),
-                Vec4::new(base.x + du, base.y, 0.0, 1.0),
-                Vec4::new(base.x, base.y + dv, 0.0, 1.0),
-                Vec4::new(base.x + du, base.y + dv, 0.0, 1.0),
-            ];
-            sampler.sample_quad(&texture, &coords, false, 0.0, [true; 4], &mut NoopTracker, &mut stats);
-        }
-        t.row(vec![name.into(), format!("{:.2}", stats.bilinears_per_request())]);
-    }
-    println!("{}", t.to_ascii());
+fn run_ablations(options: &Options) {
+    let report = gwc_bench::ablations_report(&options.run_config(), None)
+        .expect("uncancellable ablation sweep cannot be cancelled");
+    print!("{report}");
 }
 
 /// Times the fragment-heavy replay serial vs `--threads` workers, checks
@@ -341,12 +434,10 @@ fn run_ablations(config: &RunConfig) {
 /// the host's core count — a speedup claim from a 1-core container is
 /// meaningless) in `BENCH_parallel.json`.
 fn run_parallel_bench(options: &Options) {
-    let config = &options.config;
+    let config = options.run_config();
     let frames = config.sim_frames.max(2);
     let (w, h) = (config.width, config.height);
-    if gwc_workloads::GameProfile::by_name(&options.game).is_none() {
-        bad_arg(format!("invalid value '{}' for '--game' (expected a Table I timedemo)", options.game));
-    }
+    require_game(&options.game);
     let host_cores =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     // --threads wins; then GWC_THREADS (as everywhere else); then every
@@ -413,11 +504,9 @@ fn run_parallel_bench(options: &Options) {
 /// A hardened replay of one timedemo: frame-boundary checkpoints on the
 /// way out, optional resume from one on the way in.
 fn run_replay(options: &Options) {
-    let config = &options.config;
+    let config = options.run_config();
     let frames = config.sim_frames.max(1);
-    if gwc_workloads::GameProfile::by_name(&options.game).is_none() {
-        bad_arg(format!("invalid value '{}' for '--game' (expected a Table I timedemo)", options.game));
-    }
+    require_game(&options.game);
     let trace = gwc_bench::record_trace(&options.game, frames);
     let mut gpu_config = GpuConfig::r520(config.width, config.height);
     // The worker count is execution policy, not persistent state: a resume
@@ -425,15 +514,18 @@ fn run_replay(options: &Options) {
     // and replays bit-identically.
     gpu_config.threads = options.threads;
 
-    let (mut gpu, start_frame) = match &options.resume {
+    let (mut gpu, start_frame) = match &options.resume_file {
         Some(path) => {
+            // An unreadable or corrupt checkpoint is an unusable input,
+            // not a simulator failure: exit 2, naming the file and (for
+            // corruption) the section that failed its check.
             let bytes = std::fs::read(path).unwrap_or_else(|e| {
                 eprintln!("repro: cannot read checkpoint {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             });
             let gpu = Gpu::restore_checkpoint(gpu_config, &bytes).unwrap_or_else(|e| {
                 eprintln!("repro: cannot restore checkpoint {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             });
             let done = gpu.stats().frames().len();
             eprintln!("resumed from {path} at frame boundary {done}");
@@ -491,40 +583,73 @@ fn run_replay(options: &Options) {
     println!("{}", table.to_ascii());
 }
 
+/// The supervised campaign: every experiment as a job, progress durable
+/// in `--dir`. Returns whether everything succeeded.
+fn run_campaign_cmd(options: &Options) -> bool {
+    let dir = PathBuf::from(&options.dir);
+    let (supervisor, _runner) = build_supervisor(options);
+    let jobs = gwc_bench::campaign_jobs(options.config, options.rung, &dir);
+    let campaign_opts = CampaignOptions {
+        dir: dir.clone(),
+        resume: options.campaign_resume,
+        stop_after: options.stop_after,
+    };
+    eprintln!(
+        "campaign: {} jobs into {} (resume={})",
+        jobs.len(),
+        dir.display(),
+        options.campaign_resume
+    );
+    let outcome = match run_campaign(&supervisor, &jobs, &campaign_opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("repro: campaign failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", outcome.summary());
+    if outcome.interrupted {
+        eprintln!(
+            "campaign interrupted after {} of {} jobs; finish with 'repro campaign --dir {} --resume'",
+            outcome.entries.len(),
+            jobs.len(),
+            options.dir
+        );
+        return false;
+    }
+    eprintln!("campaign report: {}", dir.join(REPORT_FILE).display());
+    outcome.failed() == 0
+}
+
 fn main() {
     let options = parse_args();
+    let mut all_ok = true;
     let needs_study = options
         .experiments
         .iter()
-        .any(|e| e != "ablations" && e != "replay" && e != "parallel");
+        .any(|e| !matches!(e.as_str(), "ablations" | "replay" | "parallel" | "campaign"));
     let study = if needs_study {
-        eprintln!(
-            "running study: {} API frames, {} simulated frames at {}x{}...",
-            options.config.api_frames,
-            options.config.sim_frames,
-            options.config.width,
-            options.config.height
-        );
-        Some(run_study(&options.config))
+        let (study, ok) = build_study(&options);
+        all_ok &= ok;
+        Some(study)
     } else {
         None
     };
     for experiment in &options.experiments {
-        if experiment == "ablations" {
-            run_ablations(&options.config);
-            continue;
+        match experiment.as_str() {
+            "ablations" => run_ablations(&options),
+            "replay" => run_replay(&options),
+            "parallel" => run_parallel_bench(&options),
+            "campaign" => all_ok &= run_campaign_cmd(&options),
+            _ => {
+                let study = study.as_ref().expect("study built for table/figure experiments");
+                if !run_experiment(study, experiment, options.csv) {
+                    bad_arg(format!("unknown experiment '{experiment}'"));
+                }
+            }
         }
-        if experiment == "replay" {
-            run_replay(&options);
-            continue;
-        }
-        if experiment == "parallel" {
-            run_parallel_bench(&options);
-            continue;
-        }
-        let study = study.as_ref().expect("study built for table/figure experiments");
-        if !run_experiment(study, experiment, options.csv) {
-            bad_arg(format!("unknown experiment '{experiment}'"));
-        }
+    }
+    if !all_ok {
+        std::process::exit(1);
     }
 }

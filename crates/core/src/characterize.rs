@@ -2,7 +2,7 @@
 
 use gwc_api::{ApiStats, GraphicsApi};
 use gwc_mem::{CacheStats, FrameTraffic};
-use gwc_pipeline::{Gpu, GpuConfig, SimStats};
+use gwc_pipeline::{CancelToken, Gpu, GpuConfig, SimStats};
 use gwc_texture::SampleStats;
 use gwc_workloads::{GameProfile, Timedemo, TimedemoConfig};
 use serde::{Deserialize, Serialize};
@@ -141,10 +141,35 @@ impl Study {
 /// Characterizes one timedemo: an API pass, plus a simulated pass for the
 /// demos the paper runs through ATTILA.
 pub fn characterize(profile: &'static GameProfile, config: &RunConfig) -> GameCharacterization {
-    // API-level pass over the long window.
+    characterize_supervised(profile, config, None)
+        .expect("characterize without a token cannot be cancelled")
+}
+
+/// [`characterize`] under supervision: the optional [`CancelToken`] is
+/// polled between generated frames and inside the GPU pipeline loops
+/// (work ticks are charged per command, triangle, and quad). A tripped
+/// token aborts the pass and returns `None` — partial characterizations
+/// are never surfaced, so a supervisor retry starts from a clean slate.
+pub fn characterize_supervised(
+    profile: &'static GameProfile,
+    config: &RunConfig,
+    cancel: Option<&CancelToken>,
+) -> Option<GameCharacterization> {
+    let cancelled = |token: Option<&CancelToken>| token.is_some_and(CancelToken::is_cancelled);
+
+    // API-level pass over the long window, frame by frame so a watchdog
+    // can interrupt trace *generation*, not just simulation.
     let mut demo = Timedemo::new(profile, TimedemoConfig { frames: config.api_frames, seed: config.seed });
     let mut api = ApiStats::new();
-    demo.emit_all(&mut api);
+    for frame in 0..config.api_frames {
+        if cancelled(cancel) {
+            return None;
+        }
+        if let Some(tok) = cancel {
+            tok.charge(1);
+        }
+        demo.emit_frame(frame, &mut api);
+    }
 
     // Microarchitectural pass: OpenGL + simulated flag, like the paper.
     let sim = if config.sim_frames > 0 && profile.api == GraphicsApi::OpenGl && profile.simulated
@@ -152,7 +177,13 @@ pub fn characterize(profile: &'static GameProfile, config: &RunConfig) -> GameCh
         let mut demo =
             Timedemo::new(profile, TimedemoConfig { frames: config.sim_frames, seed: config.seed });
         let mut gpu = Gpu::new(GpuConfig::r520(config.width, config.height));
+        if let Some(tok) = cancel {
+            gpu.set_cancel_token(tok.clone());
+        }
         demo.emit_all(&mut gpu);
+        if cancelled(cancel) {
+            return None;
+        }
         let filtering = SampleStats {
             requests: gpu.stats().totals().tex_requests,
             bilinear_samples: gpu.stats().totals().bilinear_samples,
@@ -171,7 +202,10 @@ pub fn characterize(profile: &'static GameProfile, config: &RunConfig) -> GameCh
     } else {
         None
     };
-    GameCharacterization { profile, api, sim }
+    if cancelled(cancel) {
+        return None;
+    }
+    Some(GameCharacterization { profile, api, sim })
 }
 
 /// Runs the full Table I workload set.

@@ -1,0 +1,361 @@
+//! The unit of supervised work: a `(game, experiment, config)` triple.
+
+use gwc_core::RunConfig;
+
+/// Which experiment a job runs. Every output of the reproduction —
+/// characterization tables, replay verification, ablation sweeps — is
+/// expressed as one of these so the supervisor can treat them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Full characterization of one timedemo (API pass + simulated pass).
+    Characterize,
+    /// Checkpointed replay of one simulated demo, verifying bit-identical
+    /// statistics across the checkpoint/restore boundary.
+    Replay,
+    /// The configuration ablation sweep (batch sizes, cache geometries).
+    Ablations,
+}
+
+impl Experiment {
+    /// Stable manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Characterize => "characterize",
+            Experiment::Replay => "replay",
+            Experiment::Ablations => "ablations",
+        }
+    }
+
+    /// Parses a manifest name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "characterize" => Some(Experiment::Characterize),
+            "replay" => Some(Experiment::Replay),
+            "ablations" => Some(Experiment::Ablations),
+            _ => None,
+        }
+    }
+}
+
+/// A rung of the degradation ladder, from most to least expensive:
+/// `--paper` → default → `--quick`. When every retry at one rung fails,
+/// the supervisor re-admits the job one rung down — a degraded result is
+/// preferable to none for a long multi-game campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// Paper-grade settings ([`RunConfig::paper`]).
+    Paper,
+    /// The campaign's base configuration, as parsed from the CLI.
+    Default,
+    /// Smoke-grade settings ([`RunConfig::quick`]).
+    Quick,
+}
+
+impl Rung {
+    /// Stable manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Paper => "paper",
+            Rung::Default => "default",
+            Rung::Quick => "quick",
+        }
+    }
+
+    /// Parses a manifest name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Rung::Paper),
+            "default" => Some(Rung::Default),
+            "quick" => Some(Rung::Quick),
+            _ => None,
+        }
+    }
+
+    /// The next (cheaper) rung, or `None` at the bottom of the ladder.
+    pub fn degrade(self) -> Option<Rung> {
+        match self {
+            Rung::Paper => Some(Rung::Default),
+            Rung::Default => Some(Rung::Quick),
+            Rung::Quick => None,
+        }
+    }
+
+    /// Maps the campaign's base configuration to this rung's settings:
+    /// `Paper` raises each dimension to at least [`RunConfig::paper`],
+    /// `Quick` lowers each to at most [`RunConfig::quick`] — so a rung
+    /// never *upsizes* an already-small base, and degrading always makes
+    /// the job cheaper (or leaves it unchanged). The workload seed is
+    /// preserved so degraded runs stay comparable to the campaign.
+    pub fn apply(self, base: &RunConfig) -> RunConfig {
+        match self {
+            Rung::Paper => {
+                let p = RunConfig::paper();
+                RunConfig {
+                    api_frames: base.api_frames.max(p.api_frames),
+                    sim_frames: base.sim_frames.max(p.sim_frames),
+                    width: base.width.max(p.width),
+                    height: base.height.max(p.height),
+                    seed: base.seed,
+                }
+            }
+            Rung::Default => *base,
+            Rung::Quick => {
+                let q = RunConfig::quick();
+                RunConfig {
+                    api_frames: base.api_frames.min(q.api_frames),
+                    sim_frames: base.sim_frames.min(q.sim_frames),
+                    width: base.width.min(q.width),
+                    height: base.height.min(q.height),
+                    seed: base.seed,
+                }
+            }
+        }
+    }
+}
+
+/// One supervised unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Campaign-unique id; jobs run (and resume) in id order.
+    pub id: u32,
+    /// Table I profile name (e.g. `"Doom3/trdemo2"`); circuit breaking is
+    /// keyed on this.
+    pub game: String,
+    /// What to run.
+    pub experiment: Experiment,
+    /// The campaign's base configuration; the active rung maps it to the
+    /// attempt's actual settings via [`Rung::apply`].
+    pub config: RunConfig,
+    /// The rung the job is first admitted at.
+    pub start_rung: Rung,
+    /// Where the runner should write a GWCK checkpoint, if anywhere.
+    pub checkpoint: Option<String>,
+}
+
+/// What a successful attempt hands back to the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobProduct {
+    /// Rendered result (tables, replay verdict, ablation report) — the
+    /// campaign persists this verbatim as the job artifact.
+    pub text: String,
+    /// Path of the GWCK checkpoint the run produced, if any.
+    pub checkpoint: Option<String>,
+}
+
+/// A classified attempt failure returned by a runner (panics and
+/// deadline overruns are detected by the supervisor itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The runner observed its cancellation token trip and bailed out.
+    Cancelled(gwc_pipeline::CancelCause),
+    /// A typed failure (simulation fault, I/O, verification mismatch).
+    Failed(String),
+}
+
+/// Terminal classification of a job, recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Succeeded on the first attempt at its starting rung.
+    Ok,
+    /// Succeeded at the starting rung after at least one retry.
+    Retried,
+    /// Succeeded, but only after descending the degradation ladder.
+    Degraded,
+    /// Every attempt exhausted its wall-clock deadline or work budget.
+    TimedOut,
+    /// The final attempt panicked (earlier attempts may have failed
+    /// differently; the last word wins).
+    Panicked,
+    /// Never produced a result and never crashed: a typed failure
+    /// exhausted its retries, the game's circuit breaker was open, or
+    /// `--fail-fast` stopped the campaign before the job ran.
+    Skipped,
+}
+
+impl Outcome {
+    /// Stable manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Retried => "retried",
+            Outcome::Degraded => "degraded",
+            Outcome::TimedOut => "timed-out",
+            Outcome::Panicked => "panicked",
+            Outcome::Skipped => "skipped",
+        }
+    }
+
+    /// Parses a manifest name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ok" => Some(Outcome::Ok),
+            "retried" => Some(Outcome::Retried),
+            "degraded" => Some(Outcome::Degraded),
+            "timed-out" => Some(Outcome::TimedOut),
+            "panicked" => Some(Outcome::Panicked),
+            "skipped" => Some(Outcome::Skipped),
+            _ => None,
+        }
+    }
+
+    /// Whether the job produced a usable result.
+    pub fn is_success(self) -> bool {
+        matches!(self, Outcome::Ok | Outcome::Retried | Outcome::Degraded)
+    }
+}
+
+/// How one attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptResult {
+    /// The attempt returned a product.
+    Ok,
+    /// The runner returned a typed failure.
+    Failed(String),
+    /// The attempt panicked (caught at the isolation boundary).
+    Panicked(String),
+    /// The watchdog tripped the attempt's token. `abandoned` is true when
+    /// the attempt also ignored the grace period and its thread had to be
+    /// left behind.
+    TimedOut {
+        /// Why the token tripped.
+        cause: gwc_pipeline::CancelCause,
+        /// Whether the job thread never acknowledged cancellation.
+        abandoned: bool,
+    },
+}
+
+impl AttemptResult {
+    /// Short manifest/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttemptResult::Ok => "ok",
+            AttemptResult::Failed(_) => "failed",
+            AttemptResult::Panicked(_) => "panicked",
+            AttemptResult::TimedOut { abandoned: false, .. } => "timed-out",
+            AttemptResult::TimedOut { abandoned: true, .. } => "timed-out(abandoned)",
+        }
+    }
+}
+
+/// The audit trail of one attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Rung the attempt ran at.
+    pub rung: Rung,
+    /// Zero-based attempt index within that rung.
+    pub attempt: u32,
+    /// How it ended.
+    pub result: AttemptResult,
+    /// Backoff slept *after* this attempt before the next one (0 for the
+    /// final attempt and for successes).
+    pub backoff_ms: u64,
+    /// Work ticks the attempt charged to its token.
+    pub work: u64,
+}
+
+/// Everything the supervisor learned about one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job as admitted.
+    pub job: Job,
+    /// Terminal classification.
+    pub outcome: Outcome,
+    /// Rung of the last attempt (the successful one, for successes).
+    pub final_rung: Rung,
+    /// Every attempt, in execution order. Empty only for jobs skipped
+    /// before admission (circuit breaker, fail-fast).
+    pub attempts: Vec<AttemptRecord>,
+    /// The product of the successful attempt, if any.
+    pub product: Option<JobProduct>,
+    /// Human-readable detail for failures and skips.
+    pub detail: String,
+}
+
+impl JobReport {
+    /// Total work ticks across all attempts.
+    pub fn total_work(&self) -> u64 {
+        self.attempts.iter().map(|a| a.work).sum()
+    }
+
+    /// One summary line for the campaign report.
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "job {:>3}  {:<24} {:<12} {:<8} {:<9} attempts={}",
+            self.job.id,
+            self.job.game,
+            self.job.experiment.name(),
+            self.final_rung.name(),
+            self.outcome.name(),
+            self.attempts.len(),
+        );
+        if !self.detail.is_empty() {
+            line.push_str("  ");
+            line.push_str(&self.detail);
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in [Experiment::Characterize, Experiment::Replay, Experiment::Ablations] {
+            assert_eq!(Experiment::from_name(e.name()), Some(e));
+        }
+        for r in [Rung::Paper, Rung::Default, Rung::Quick] {
+            assert_eq!(Rung::from_name(r.name()), Some(r));
+        }
+        for o in [
+            Outcome::Ok,
+            Outcome::Retried,
+            Outcome::Degraded,
+            Outcome::TimedOut,
+            Outcome::Panicked,
+            Outcome::Skipped,
+        ] {
+            assert_eq!(Outcome::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Rung::from_name("warp"), None);
+    }
+
+    #[test]
+    fn ladder_descends_to_quick_and_stops() {
+        assert_eq!(Rung::Paper.degrade(), Some(Rung::Default));
+        assert_eq!(Rung::Default.degrade(), Some(Rung::Quick));
+        assert_eq!(Rung::Quick.degrade(), None);
+    }
+
+    #[test]
+    fn rung_apply_preserves_seed_and_never_upsizes_quick() {
+        let base = RunConfig { api_frames: 7, sim_frames: 2, width: 96, height: 72, seed: 99 };
+        assert_eq!(Rung::Default.apply(&base), base);
+        // A base already below quick-grade passes through unchanged:
+        // degrading must never make a job more expensive.
+        let quick = Rung::Quick.apply(&base);
+        assert_eq!(quick, base);
+        let paper = Rung::Paper.apply(&base);
+        assert_eq!(paper.seed, 99);
+        assert_eq!(paper.width, RunConfig::paper().width);
+        // The stock presets map onto themselves.
+        let stock = RunConfig { api_frames: 300, sim_frames: 4, width: 640, height: 480, seed: 1 };
+        let q = Rung::Quick.apply(&stock);
+        assert_eq!(
+            (q.api_frames, q.sim_frames, q.width, q.height),
+            (60, 3, 320, 240),
+            "quick rung of the stock base is the quick preset"
+        );
+    }
+
+    #[test]
+    fn outcome_success_partition() {
+        assert!(Outcome::Ok.is_success());
+        assert!(Outcome::Retried.is_success());
+        assert!(Outcome::Degraded.is_success());
+        assert!(!Outcome::TimedOut.is_success());
+        assert!(!Outcome::Panicked.is_success());
+        assert!(!Outcome::Skipped.is_success());
+    }
+}

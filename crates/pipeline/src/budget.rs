@@ -1,0 +1,201 @@
+//! Cooperative cancellation and simulated-work budgets.
+//!
+//! A supervised run needs two ways to stop a simulation that is no longer
+//! worth finishing: an external *deadline* (a watchdog thread decides the
+//! job has run too long on the wall clock) and an internal *work budget*
+//! (the job has performed more simulated work — commands, triangles,
+//! fragment quads — than its experiment could legitimately need, i.e. it
+//! is running away). Both are expressed through a [`CancelToken`]: a
+//! cheap, shareable flag-plus-counter the pipeline polls at its natural
+//! loop boundaries.
+//!
+//! The token is *advisory state, not simulator state*: a [`crate::Gpu`]
+//! with no token (or an untripped one) behaves bit-identically to one
+//! that never heard of cancellation, and a cancelled run's partial
+//! statistics are meant to be discarded by the supervisor, never merged
+//! or checkpointed. That is why cancellation is deliberately **not** a
+//! [`crate::SimError`]: it is not a property of the workload, and it must
+//! not be absorbed by a lenient [`crate::FaultPolicy`].
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a [`CancelToken`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The supervisor's wall-clock watchdog fired.
+    Deadline,
+    /// The simulated-work budget ([`CancelToken::with_work_limit`]) was
+    /// exhausted from inside the pipeline loop.
+    Budget,
+    /// The owner asked the job to stop for an external reason (campaign
+    /// shutdown, fail-fast abort).
+    Shutdown,
+}
+
+impl CancelCause {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelCause::Deadline => "deadline",
+            CancelCause::Budget => "work-budget",
+            CancelCause::Shutdown => "shutdown",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            CancelCause::Deadline => 1,
+            CancelCause::Budget => 2,
+            CancelCause::Shutdown => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(CancelCause::Deadline),
+            2 => Some(CancelCause::Budget),
+            3 => Some(CancelCause::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// 0 = live; otherwise the [`CancelCause::tag`] of the first cancel.
+    cause: AtomicU8,
+    /// Simulated-work ticks charged so far (commands, triangles, quads).
+    work: AtomicU64,
+    /// Work ceiling; `u64::MAX` means unlimited.
+    limit: AtomicU64,
+}
+
+/// A cheap cancellation token shared between a supervisor and the
+/// pipeline loops of one supervised run.
+///
+/// Cloning shares state. All operations are relaxed atomics: the token
+/// carries no data dependencies, only a "stop soon" signal, and the
+/// pipeline tolerates observing it a few loop iterations late.
+///
+/// ```
+/// use gwc_pipeline::{CancelCause, CancelToken};
+///
+/// let t = CancelToken::with_work_limit(100);
+/// assert!(!t.is_cancelled());
+/// t.charge(101); // pipeline loop reports work; the ceiling trips
+/// assert_eq!(t.cause(), Some(CancelCause::Budget));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A live token with no work limit (cancel is external-only).
+    pub fn new() -> Self {
+        let t = CancelToken::default();
+        t.inner.limit.store(u64::MAX, Ordering::Relaxed);
+        t
+    }
+
+    /// A live token that self-cancels with [`CancelCause::Budget`] once
+    /// more than `limit` work ticks have been charged.
+    pub fn with_work_limit(limit: u64) -> Self {
+        let t = CancelToken::default();
+        t.inner.limit.store(limit, Ordering::Relaxed);
+        t
+    }
+
+    /// Trips the token. The first cause wins; later calls are no-ops.
+    pub fn cancel(&self, cause: CancelCause) {
+        let _ = self.inner.cause.compare_exchange(
+            0,
+            cause.tag(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the token has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cause.load(Ordering::Relaxed) != 0
+    }
+
+    /// The first cancellation cause, if tripped.
+    pub fn cause(&self) -> Option<CancelCause> {
+        CancelCause::from_tag(self.inner.cause.load(Ordering::Relaxed))
+    }
+
+    /// Charges `ticks` of simulated work against the budget, tripping the
+    /// token with [`CancelCause::Budget`] when the ceiling is crossed.
+    /// Safe to call from any pipeline worker thread.
+    pub fn charge(&self, ticks: u64) {
+        let before = self.inner.work.fetch_add(ticks, Ordering::Relaxed);
+        let after = before.saturating_add(ticks);
+        if after > self.inner.limit.load(Ordering::Relaxed) {
+            self.cancel(CancelCause::Budget);
+        }
+    }
+
+    /// Total work ticks charged so far.
+    pub fn work(&self) -> u64 {
+        self.inner.work.load(Ordering::Relaxed)
+    }
+
+    /// The configured work ceiling (`u64::MAX` when unlimited).
+    pub fn work_limit(&self) -> u64 {
+        self.inner.limit.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_unlimited() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert_eq!(t.work_limit(), u64::MAX);
+        t.charge(1 << 40);
+        assert!(!t.is_cancelled(), "unlimited budget never trips");
+    }
+
+    #[test]
+    fn budget_trips_exactly_past_the_limit() {
+        let t = CancelToken::with_work_limit(10);
+        t.charge(10);
+        assert!(!t.is_cancelled(), "at the limit is still within budget");
+        t.charge(1);
+        assert_eq!(t.cause(), Some(CancelCause::Budget));
+        assert_eq!(t.work(), 11);
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let t = CancelToken::with_work_limit(1);
+        t.cancel(CancelCause::Deadline);
+        t.charge(100); // would trip Budget, but Deadline got there first
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel(CancelCause::Shutdown);
+        assert!(a.is_cancelled());
+        assert_eq!(a.cause(), Some(CancelCause::Shutdown));
+        a.charge(7);
+        assert_eq!(b.work(), 7);
+    }
+
+    #[test]
+    fn cause_names_are_stable() {
+        assert_eq!(CancelCause::Deadline.name(), "deadline");
+        assert_eq!(CancelCause::Budget.name(), "work-budget");
+        assert_eq!(CancelCause::Shutdown.name(), "shutdown");
+    }
+}

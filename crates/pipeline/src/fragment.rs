@@ -33,6 +33,7 @@ use gwc_raster::{rasterize_band, BlendState, DepthState, HzBandView, Quad, Raste
 use gwc_shader::{ExecStats, Program, ShaderMachine};
 use gwc_texture::{SamplerState, Texture};
 
+use crate::budget::CancelToken;
 use crate::colorbuffer::ColorBandView;
 use crate::config::GpuConfig;
 use crate::error::SimError;
@@ -105,6 +106,11 @@ pub(crate) struct DrawPacket<'a> {
     pub pool: &'a HashMap<u32, (Texture, SamplerState)>,
     /// The viewport.
     pub viewport: Viewport,
+    /// Supervised runs: the run's cancellation token. Stripes charge one
+    /// work tick per rasterized quad and stop between triangles once the
+    /// token trips (the partial results are discarded by the supervisor,
+    /// so an early stop cannot corrupt any surviving statistic).
+    pub cancel: Option<&'a CancelToken>,
 }
 
 /// One stripe's mutable execution state for one draw: band views over the
@@ -166,6 +172,9 @@ impl StripeJob<'_> {
             if self.fault.is_some() {
                 return;
             }
+            if packet.cancel.is_some_and(|t| t.is_cancelled()) {
+                return;
+            }
             let mut raster_stats = RasterStats::default();
             let mut quads: Vec<Quad> = Vec::new();
             rasterize_band(setup, &packet.viewport, self.y0, self.y1, &mut raster_stats, &mut |q| {
@@ -174,6 +183,11 @@ impl StripeJob<'_> {
             self.shard.frags_raster += raster_stats.fragments;
             self.shard.quads_raster += raster_stats.quads;
             self.shard.quads_complete_raster += raster_stats.complete_quads;
+            if let Some(tok) = packet.cancel {
+                // Fragment-level budget granularity: a single huge
+                // triangle still charges its quads before the next check.
+                tok.charge(raster_stats.quads);
+            }
             for quad in &quads {
                 if let Err(e) = self.process_quad(quad, setup, stencil, packet) {
                     self.fault = Some(e);

@@ -15,6 +15,7 @@ use gwc_raster::{clip_near, BlendState, ClipResult, CompareFunc, CullMode,
 use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
 use gwc_texture::{SampleStats, SamplerState, Texture};
 
+use crate::budget::CancelToken;
 use crate::checkpoint::{self, CheckpointError, Dec, Enc, SectionWriter};
 use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
@@ -108,6 +109,12 @@ pub struct Gpu {
     skip_frame: bool,
     first_error: Option<SimError>,
 
+    // Supervision: an optional cooperative cancellation token. When it
+    // trips, command execution stops doing work (the stream keeps
+    // draining) and the run's partial results are the supervisor's to
+    // discard. Not serialized — a restored GPU starts un-supervised.
+    cancel: Option<CancelToken>,
+
     // Checkpoint support: every successful resource-creation command, in
     // order. Replaying the log through a fresh GPU reproduces the exact
     // VRAM layout (bump allocation is deterministic).
@@ -186,6 +193,7 @@ impl Gpu {
             fs_prev: ExecStats::default(),
             skip_frame: false,
             first_error: None,
+            cancel: None,
             creation_log: Vec::new(),
             config,
         }
@@ -218,6 +226,21 @@ impl Gpu {
             let stripe_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             s.mem.enable_fault_injection(stripe_seed, rate_ppm);
         }
+    }
+
+    /// Attaches a [`CancelToken`] for supervised runs. Pipeline loops
+    /// charge simulated-work ticks against it (one per command, per
+    /// post-clip triangle, and per rasterized quad) and stop doing work
+    /// once it trips; the command stream keeps draining so the caller's
+    /// replay loop regains control at the next command. A cancelled run's
+    /// partial statistics are *not* meaningful — discard the GPU.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether an attached [`CancelToken`] has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Resolved fragment-pipeline worker count (see
@@ -450,7 +473,16 @@ impl Gpu {
         // the fragment flush below always sees a complete triangle list.
         let tri_count = primitive.triangle_count(count as usize);
         let mut tris: Vec<(TriangleSetup, StencilState)> = Vec::new();
+        let cancel = self.cancel.clone();
         for t in 0..tri_count {
+            // Supervised runs: one work tick per post-clip triangle, and a
+            // cheap bail-out so a runaway draw cannot outlive its budget.
+            if let Some(tok) = &cancel {
+                tok.charge(1);
+                if tok.is_cancelled() {
+                    return Ok(());
+                }
+            }
             let (i0, i1, i2) = primitive.triangle_indices(t);
             let fetch = |gpu: &mut Gpu, pos: usize| -> Result<ShadedVertex, SimError> {
                 let idx = gpu.index_buffers[&index_buffer].indices.get(first as usize + pos);
@@ -537,6 +569,7 @@ impl Gpu {
             bindings: &self.tex_bindings,
             pool: &self.textures,
             viewport: self.viewport,
+            cancel: self.cancel.as_ref(),
         };
 
         // A private shader machine per stripe: master constants, zeroed
@@ -870,6 +903,16 @@ impl Gpu {
     /// faults are absorbed (`Ok`), counted in [`SimStats`], and work is
     /// dropped at batch or frame granularity instead.
     pub fn try_consume(&mut self, command: &Command) -> Result<(), SimError> {
+        // A tripped cancellation token stops all execution (no CP fetch,
+        // no statistics): the supervisor has already decided this run's
+        // results are void, so the only job left is to drain the stream
+        // cheaply and hand control back to the replay loop.
+        if let Some(tok) = &self.cancel {
+            tok.charge(1);
+            if tok.is_cancelled() {
+                return Ok(());
+            }
+        }
         if self.skip_frame {
             if matches!(command, Command::EndFrame) {
                 self.skip_frame = false;

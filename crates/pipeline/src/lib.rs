@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod budget;
 mod checkpoint;
 mod colorbuffer;
 mod config;
@@ -39,6 +40,7 @@ mod stats;
 mod streamer;
 mod texunit;
 
+pub use budget::{CancelCause, CancelToken};
 pub use checkpoint::CheckpointError;
 pub use colorbuffer::ColorBuffer;
 pub use config::GpuConfig;

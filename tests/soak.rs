@@ -154,6 +154,47 @@ fn mid_run_checkpoint_resume_under_corruption_is_bit_identical() {
 }
 
 #[test]
+fn gwck_checkpoint_fuzz_returns_typed_errors_never_panics() {
+    // Satellite of the supervised-campaign work: a GWCK blob damaged in
+    // storage must surface as a typed `CheckpointError` from
+    // `restore_checkpoint` — never a panic, never a silently-wrong GPU.
+    let profile = GameProfile::by_name("Doom3/trdemo2").unwrap();
+    let trace = record(profile);
+    let cfg = config(FaultPolicy::SkipBatch);
+    let mut gpu = Gpu::new(cfg);
+    trace.replay_frames(1, &mut gpu);
+    let clean = gpu.save_checkpoint();
+    assert!(Gpu::restore_checkpoint(cfg, &clean).is_ok(), "pristine blob must restore");
+
+    let mut flipped_rejected = 0usize;
+    for seed in 0..64u64 {
+        // Bit flips: CRC-32 per section catches any single-bit damage, so
+        // every blob with at least one flip must be rejected.
+        let mut inj = FaultInjector::new(0x67C4_u64.wrapping_add(seed));
+        let mut bytes = clean.clone();
+        let flips = inj.corrupt_bytes(&mut bytes, 200);
+        let outcome = std::panic::catch_unwind(|| Gpu::restore_checkpoint(cfg, &bytes));
+        let result = outcome.expect("restore_checkpoint must not panic on corrupt input");
+        if flips > 0 {
+            let err = result.expect_err("bit-flipped checkpoint must not restore");
+            assert!(!err.to_string().is_empty(), "error must describe the damage");
+            flipped_rejected += 1;
+        } else {
+            assert!(result.is_ok(), "an untouched blob must still restore");
+        }
+
+        // Truncation: a blob cut anywhere must be rejected (empty or
+        // mid-header, mid-section, mid-CRC — all of it).
+        let mut bytes = clean.clone();
+        inj.truncate(&mut bytes);
+        let outcome = std::panic::catch_unwind(|| Gpu::restore_checkpoint(cfg, &bytes));
+        let result = outcome.expect("restore_checkpoint must not panic on truncated input");
+        assert!(result.is_err(), "seed {seed}: truncated checkpoint must not restore");
+    }
+    assert!(flipped_rejected > 8, "fuzz rate too low to have exercised bit flips");
+}
+
+#[test]
 fn byte_level_corruption_never_panics_the_codec() {
     let trace = record(&GameProfile::all()[0]);
     let clean = trace.to_bytes();
