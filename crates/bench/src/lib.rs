@@ -10,10 +10,11 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 
 use gwc_api::CommandSink;
-use gwc_core::{characterize_supervised, GameCharacterization, RunConfig, Study};
+use gwc_core::{characterize_traced, GameCharacterization, RunConfig, Study};
 use gwc_harness::{Experiment, Job, JobError, JobProduct, JobRunner, Rung};
 use gwc_pipeline::{CancelCause, CancelToken, Gpu, GpuConfig};
 use gwc_stats::Table;
+use gwc_telemetry::{Collector, Level};
 use gwc_workloads::{GameProfile, Timedemo, TimedemoConfig};
 
 /// Simulates `frames` frames of a named timedemo at the given resolution
@@ -67,6 +68,88 @@ pub fn simulate_cancellable(
 /// Simulates with the default R520 configuration.
 pub fn simulate(name: &str, frames: u32, width: u32, height: u32) -> Gpu {
     simulate_with(name, frames, width, height, |_| {})
+}
+
+/// [`simulate_with`] with a telemetry collector attached at `level`.
+/// Returns the GPU and the collector (which is `None` when `level` is
+/// [`Level::Off`] — nothing was observed, nothing to export).
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table I timedemo.
+pub fn simulate_traced(
+    name: &str,
+    frames: u32,
+    width: u32,
+    height: u32,
+    level: Level,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> (Gpu, Option<Collector>) {
+    let profile = GameProfile::by_name(name).unwrap_or_else(|| panic!("unknown demo {name}"));
+    let mut demo = Timedemo::new(profile, TimedemoConfig { frames, seed: 0x5EED });
+    let mut config = GpuConfig::r520(width, height);
+    tweak(&mut config);
+    let mut gpu = Gpu::new(config);
+    if level != Level::Off {
+        gpu.enable_telemetry(level, name, gwc_telemetry::DEFAULT_SPAN_CAPACITY);
+    }
+    demo.emit_all(&mut gpu);
+    let collector = gpu.take_telemetry();
+    (gpu, collector)
+}
+
+/// File paths of one exported trace set (all derived from one stem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArtifacts {
+    /// Perfetto/Chrome `trace_event` JSON (`<stem>.trace.json`).
+    pub chrome: String,
+    /// Per-frame time-series CSV (`<stem>.frames.csv`).
+    pub csv: String,
+    /// Compact GWTB binary with CRC trailer (`<stem>.trace.bin`).
+    pub binary: String,
+}
+
+/// Exports a collector's three trace artifacts next to `stem`:
+/// `<stem>.trace.json`, `<stem>.frames.csv`, and `<stem>.trace.bin`.
+pub fn export_trace(collector: &Collector, stem: &str) -> std::io::Result<TraceArtifacts> {
+    let artifacts = TraceArtifacts {
+        chrome: format!("{stem}.trace.json"),
+        csv: format!("{stem}.frames.csv"),
+        binary: format!("{stem}.trace.bin"),
+    };
+    std::fs::write(&artifacts.chrome, gwc_telemetry::export::chrome_json(collector))?;
+    std::fs::write(&artifacts.csv, gwc_telemetry::export::frames_csv(collector))?;
+    std::fs::write(&artifacts.binary, gwc_telemetry::export::binary(collector))?;
+    Ok(artifacts)
+}
+
+/// Resolves a `--game` argument to a Table I profile name. An exact name
+/// wins; otherwise a case-insensitive substring is accepted when it
+/// matches one profile, or — since several demos of one game share the
+/// title — exactly one *simulated* profile (`doom3` → `Doom3/trdemo2`).
+pub fn resolve_game(input: &str) -> Result<&'static str, String> {
+    if let Some(p) = GameProfile::by_name(input) {
+        return Ok(p.name);
+    }
+    let needle = input.to_ascii_lowercase();
+    let matches: Vec<&'static GameProfile> = GameProfile::all()
+        .iter()
+        .filter(|p| p.name.to_ascii_lowercase().contains(&needle))
+        .collect();
+    let simulated: Vec<&'static GameProfile> =
+        matches.iter().copied().filter(|p| p.simulated).collect();
+    match (matches.as_slice(), simulated.as_slice()) {
+        ([one], _) | (_, [one]) => Ok(one.name),
+        ([], _) => Err(format!(
+            "unknown game '{input}'; valid Table I timedemos:\n{}",
+            game_name_list()
+        )),
+        (many, _) => Err(format!(
+            "ambiguous game '{input}' (matches {}); valid Table I timedemos:\n{}",
+            many.iter().map(|p| p.name).collect::<Vec<_>>().join(", "),
+            game_name_list()
+        )),
+    }
 }
 
 /// Emits a timedemo into an arbitrary sink (API-level runs).
@@ -150,11 +233,13 @@ pub fn characterize_report(c: &GameCharacterization, config: &RunConfig) -> Stri
 
 /// Replays one simulated timedemo under supervision, writes a final
 /// GWCK checkpoint (when `checkpoint` names a path) and verifies it
-/// restores, and returns the deterministic replay digest.
+/// restores, exports span-level telemetry (when `trace` names a stem),
+/// and returns the deterministic replay digest.
 pub fn replay_job(
     game: &str,
     config: &RunConfig,
     checkpoint: Option<&str>,
+    trace_stem: Option<&str>,
     token: &CancelToken,
 ) -> Result<JobProduct, JobError> {
     let frames = config.sim_frames.max(1);
@@ -162,6 +247,9 @@ pub fn replay_job(
     let gpu_config = GpuConfig::r520(config.width, config.height);
     let mut gpu = Gpu::new(gpu_config);
     gpu.set_cancel_token(token.clone());
+    if trace_stem.is_some() {
+        gpu.enable_telemetry(Level::Spans, game, gwc_telemetry::DEFAULT_SPAN_CAPACITY);
+    }
     for c in trace.commands() {
         gpu.consume(c);
         if token.is_cancelled() {
@@ -198,7 +286,25 @@ pub fn replay_job(
         }
         None => None,
     };
-    Ok(JobProduct { text: out, checkpoint: saved })
+    let traced = match trace_stem {
+        Some(stem) => {
+            let collector = gpu
+                .take_telemetry()
+                .ok_or_else(|| JobError::Failed("telemetry collector vanished".into()))?;
+            let artifacts = export_trace(&collector, stem)
+                .map_err(|e| JobError::Failed(format!("cannot write trace {stem}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "trace: {} spans over {} frames -> {}",
+                collector.spans_recorded(),
+                collector.frames().len(),
+                artifacts.chrome
+            );
+            Some(artifacts.chrome)
+        }
+        None => None,
+    };
+    Ok(JobProduct { text: out, checkpoint: saved, trace: traced })
 }
 
 /// Renders the design-choice ablation report (HZ, compression, vertex
@@ -367,36 +473,66 @@ impl JobRunner for ReproRunner {
             Experiment::Characterize => {
                 let profile = GameProfile::by_name(&job.game)
                     .ok_or_else(|| JobError::Failed(format!("unknown game '{}'", job.game)))?;
-                let c = characterize_supervised(profile, &config, Some(token))
+                let level = if job.trace.is_some() { Level::Spans } else { Level::Off };
+                let (c, collector) = characterize_traced(profile, &config, Some(token), level)
                     .ok_or_else(|| cancelled_err(token))?;
-                let text = characterize_report(&c, &config);
+                let mut text = characterize_report(&c, &config);
+                let traced = match (&job.trace, collector) {
+                    (Some(stem), Some(collector)) => {
+                        let artifacts = export_trace(&collector, stem).map_err(|e| {
+                            JobError::Failed(format!("cannot write trace {stem}: {e}"))
+                        })?;
+                        let _ = writeln!(
+                            text,
+                            "trace: {} spans over {} frames -> {}",
+                            collector.spans_recorded(),
+                            collector.frames().len(),
+                            artifacts.chrome
+                        );
+                        Some(artifacts.chrome)
+                    }
+                    // The game has no simulated pass: nothing to trace.
+                    _ => None,
+                };
                 match self.collected.lock() {
                     Ok(mut guard) => guard.push((job.id, c)),
                     Err(poisoned) => poisoned.into_inner().push((job.id, c)),
                 }
-                Ok(JobProduct { text, checkpoint: None })
+                Ok(JobProduct { text, checkpoint: None, trace: traced })
             }
-            Experiment::Replay => replay_job(&job.game, &config, job.checkpoint.as_deref(), token),
+            Experiment::Replay => {
+                replay_job(&job.game, &config, job.checkpoint.as_deref(), job.trace.as_deref(), token)
+            }
             Experiment::Ablations => ablations_report(&config, Some(token))
-                .map(|text| JobProduct { text, checkpoint: None })
+                .map(|text| JobProduct { text, checkpoint: None, trace: None })
                 .ok_or_else(|| cancelled_err(token)),
         }
     }
 }
 
+/// The trace stem a traced campaign/study job uses (artifact file names
+/// derive from it: `job-007.trace.json`, `job-007.frames.csv`, ...).
+fn job_trace_stem(dir: &std::path::Path, id: u32) -> String {
+    dir.join(format!("job-{id:03}")).to_string_lossy().into_owned()
+}
+
 /// Builds the full campaign job list: one characterize job per Table I
 /// game, a checkpointed replay per simulated demo, and the ablation
 /// sweep. Job ids are stable (manifest compatibility depends on it).
-pub fn campaign_jobs(base: RunConfig, start_rung: Rung, dir: &std::path::Path) -> Vec<Job> {
+/// With `trace`, the characterize and replay jobs also export telemetry
+/// artifacts into the campaign directory.
+pub fn campaign_jobs(base: RunConfig, start_rung: Rung, dir: &std::path::Path, trace: bool) -> Vec<Job> {
     let mut jobs = Vec::new();
     for p in GameProfile::all() {
+        let id = jobs.len() as u32;
         jobs.push(Job {
-            id: jobs.len() as u32,
+            id,
             game: p.name.to_owned(),
             experiment: Experiment::Characterize,
             config: base,
             start_rung,
             checkpoint: None,
+            trace: trace.then(|| job_trace_stem(dir, id)),
         });
     }
     for p in GameProfile::all().iter().filter(|p| p.simulated) {
@@ -408,6 +544,7 @@ pub fn campaign_jobs(base: RunConfig, start_rung: Rung, dir: &std::path::Path) -
             config: base,
             start_rung,
             checkpoint: Some(dir.join(format!("job-{id:03}.gwck")).to_string_lossy().into_owned()),
+            trace: trace.then(|| job_trace_stem(dir, id)),
         });
     }
     jobs.push(Job {
@@ -417,14 +554,16 @@ pub fn campaign_jobs(base: RunConfig, start_rung: Rung, dir: &std::path::Path) -
         config: base,
         start_rung,
         checkpoint: None,
+        trace: None,
     });
     jobs
 }
 
 /// One characterize job per Table I game — the supervised form of
 /// [`gwc_core::run_study`], used by `repro all` and table/figure
-/// experiments.
-pub fn study_jobs(base: RunConfig, start_rung: Rung) -> Vec<Job> {
+/// experiments. With `trace_dir`, each simulated game's job also exports
+/// telemetry artifacts into that directory.
+pub fn study_jobs(base: RunConfig, start_rung: Rung, trace_dir: Option<&std::path::Path>) -> Vec<Job> {
     GameProfile::all()
         .iter()
         .enumerate()
@@ -435,6 +574,7 @@ pub fn study_jobs(base: RunConfig, start_rung: Rung) -> Vec<Job> {
             config: base,
             start_rung,
             checkpoint: None,
+            trace: trace_dir.map(|dir| job_trace_stem(dir, i as u32)),
         })
         .collect()
 }

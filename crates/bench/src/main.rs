@@ -41,6 +41,11 @@ experiments:
                        isolation, watchdog deadlines, bounded retry, and a
                        degradation ladder; progress persists to
                        <dir>/campaign.json for --resume
+  trace                run one timedemo with the telemetry collector and
+                       export a Perfetto/Chrome JSON trace, a per-frame
+                       CSV time-series, and a GWTB binary — validated
+                       before the run counts as a success (see --game,
+                       --level, --out)
 
 options:
   --threads N          fragment-pipeline worker threads (default: the
@@ -54,9 +59,17 @@ options:
   --sim-frames N       simulated frames (default 4)
   --res WxH            simulated resolution (default 640x480)
   --csv                emit CSV instead of aligned tables/charts
+  --trace              also export per-job telemetry artifacts: 'all' and
+                       table/figure runs write them to --out, campaigns
+                       into their --dir (registered in campaign.json)
 
-replay options:
-  --game NAME          Table I timedemo to replay (default Doom3/trdemo2)
+replay / trace options:
+  --game NAME          Table I timedemo to run (default Doom3/trdemo2);
+                       an unambiguous case-insensitive fragment works too
+                       (doom3, quake4, primeval)
+  --level LEVEL        telemetry detail for 'trace': off, counters, or
+                       spans (default spans)
+  --out DIR            directory for 'trace' artifacts (default traces)
   --checkpoint-every N write a GWCK checkpoint every N frames to
                        repro-<game>-frame<K>.gwck
   --resume FILE        restore GPU state from a GWCK checkpoint and replay
@@ -81,6 +94,7 @@ campaign / supervision options:
                        failures into jobs (exercises the supervisor)
   --stop-after N       stop — as if killed — after executing N jobs
                        (exercises --resume)
+  --help, -h           print this usage and exit 0
 
 exit status: 0 all experiments succeeded; 1 at least one supervised job
 ended timed-out, panicked, or skipped (or a campaign was interrupted);
@@ -105,6 +119,9 @@ struct Options {
     rung: Rung,
     csv: bool,
     game: String,
+    trace: bool,
+    level: gwc_telemetry::Level,
+    out: String,
     checkpoint_every: Option<u32>,
     resume_file: Option<String>,
     threads: u32,
@@ -128,8 +145,12 @@ impl Options {
     }
 }
 
+/// The experiment vocabulary, for unknown-experiment diagnostics.
+const KNOWN_EXPERIMENTS: &str =
+    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace";
+
 fn is_experiment_name(s: &str) -> bool {
-    matches!(s, "all" | "ablations" | "replay" | "parallel" | "campaign")
+    matches!(s, "all" | "ablations" | "replay" | "parallel" | "campaign" | "trace")
         || s.starts_with("table")
         || s.starts_with("fig")
 }
@@ -141,6 +162,9 @@ fn parse_args() -> Options {
     let mut rung = Rung::Default;
     let mut csv = false;
     let mut game = "Doom3/trdemo2".to_string();
+    let mut trace = false;
+    let mut level = gwc_telemetry::Level::Spans;
+    let mut out = "traces".to_string();
     let mut checkpoint_every = None;
     let mut resume_file = None;
     let mut threads = 0u32;
@@ -186,6 +210,16 @@ fn parse_args() -> Options {
                 config.height = parse(&arg, h.to_string(), "WxH, e.g. 640x480");
             }
             "--game" => game = value(&mut args, &arg),
+            "--trace" => trace = true,
+            "--level" => {
+                let v = value(&mut args, &arg);
+                level = gwc_telemetry::Level::parse(&v).unwrap_or_else(|| {
+                    bad_arg(format!(
+                        "invalid value '{v}' for '--level' (expected off, counters, or spans)"
+                    ))
+                });
+            }
+            "--out" => out = value(&mut args, &arg),
             "--checkpoint-every" => {
                 let n: u32 = parse(&arg, value(&mut args, &arg), "a positive frame interval");
                 if n == 0 {
@@ -234,18 +268,28 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => help(),
             e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
-            e => experiments.push(e.to_string()),
+            e if is_experiment_name(e) => experiments.push(e.to_string()),
+            e => bad_arg(format!("unknown experiment '{e}'\n{KNOWN_EXPERIMENTS}")),
         }
     }
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
+    // Resolve --game once, up front: exact Table I names pass through,
+    // unambiguous fragments expand, anything else is a usage error.
+    let game = match gwc_bench::resolve_game(&game) {
+        Ok(name) => name.to_owned(),
+        Err(message) => bad_arg(format!("{message}\n(from '--game')")),
+    };
     Options {
         experiments,
         config,
         rung,
         csv,
         game,
+        trace,
+        level,
+        out,
         checkpoint_every,
         resume_file,
         threads,
@@ -313,7 +357,14 @@ fn build_study(options: &Options) -> (Study, bool) {
         config.api_frames, config.sim_frames, config.width, config.height
     );
     let (supervisor, runner) = build_supervisor(options);
-    let jobs = gwc_bench::study_jobs(options.config, options.rung);
+    let trace_dir = options.trace.then(|| PathBuf::from(&options.out));
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create trace directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let jobs = gwc_bench::study_jobs(options.config, options.rung, trace_dir.as_deref());
     let reports = supervisor.run_jobs(&jobs);
     let ok = report_outcomes(&reports);
     (runner.into_study(config), ok)
@@ -412,16 +463,6 @@ fn run_experiment(study: &Study, name: &str, csv: bool) -> bool {
     }
 }
 
-/// Rejects an unknown `--game`, listing the valid Table I names.
-fn require_game(name: &str) {
-    if gwc_workloads::GameProfile::by_name(name).is_none() {
-        bad_arg(format!(
-            "unknown game '{name}' for '--game'; valid Table I timedemos:\n{}",
-            gwc_bench::game_name_list()
-        ));
-    }
-}
-
 /// Design-choice ablations the paper's discussion motivates.
 fn run_ablations(options: &Options) {
     let report = gwc_bench::ablations_report(&options.run_config(), None)
@@ -437,7 +478,6 @@ fn run_parallel_bench(options: &Options) {
     let config = options.run_config();
     let frames = config.sim_frames.max(2);
     let (w, h) = (config.width, config.height);
-    require_game(&options.game);
     let host_cores =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     // --threads wins; then GWC_THREADS (as everywhere else); then every
@@ -506,7 +546,6 @@ fn run_parallel_bench(options: &Options) {
 fn run_replay(options: &Options) {
     let config = options.run_config();
     let frames = config.sim_frames.max(1);
-    require_game(&options.game);
     let trace = gwc_bench::record_trace(&options.game, frames);
     let mut gpu_config = GpuConfig::r520(config.width, config.height);
     // The worker count is execution policy, not persistent state: a resume
@@ -583,12 +622,113 @@ fn run_replay(options: &Options) {
     println!("{}", table.to_ascii());
 }
 
+/// Runs one timedemo with the telemetry collector attached and exports
+/// its three artifacts (Perfetto/Chrome JSON, per-frame CSV, GWTB
+/// binary), re-reading and validating the JSON and the binary before
+/// declaring success. Returns whether everything validated.
+fn run_trace(options: &Options) -> bool {
+    let config = options.run_config();
+    let frames = config.sim_frames.max(1);
+    let (w, h) = (config.width, config.height);
+    if options.level == gwc_telemetry::Level::Off {
+        eprintln!("trace: --level off collects nothing; nothing to export");
+        return true;
+    }
+    eprintln!(
+        "trace: {} ({frames} frames at {w}x{h}, level {})...",
+        options.game,
+        options.level.name()
+    );
+    let (gpu, collector) = gwc_bench::simulate_traced(
+        &options.game,
+        frames,
+        w,
+        h,
+        options.level,
+        |c| c.threads = options.threads,
+    );
+    let collector = collector.expect("a non-off level always yields a collector");
+    if let Err(e) = std::fs::create_dir_all(&options.out) {
+        eprintln!("repro: cannot create trace directory {}: {e}", options.out);
+        std::process::exit(1);
+    }
+    let stem = PathBuf::from(&options.out)
+        .join(options.game.replace(['/', ' '], "_"))
+        .to_string_lossy()
+        .into_owned();
+    let artifacts = match gwc_bench::export_trace(&collector, &stem) {
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            eprintln!("repro: cannot write trace {stem}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Validate what was just written, from disk — a malformed or
+    // unreadable artifact is a failed experiment, not a deliverable.
+    let chrome_text = match std::fs::read_to_string(&artifacts.chrome) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("repro: cannot re-read {}: {e}", artifacts.chrome);
+            return false;
+        }
+    };
+    let chrome = match gwc_telemetry::validate::validate_chrome(&chrome_text) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("repro: {} failed validation: {e}", artifacts.chrome);
+            return false;
+        }
+    };
+    let bin_bytes = match std::fs::read(&artifacts.binary) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("repro: cannot re-read {}: {e}", artifacts.binary);
+            return false;
+        }
+    };
+    let bin = match gwc_telemetry::export::validate_binary(&bin_bytes) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("repro: {} failed validation: {e}", artifacts.binary);
+            return false;
+        }
+    };
+
+    let mut t = Table::new(
+        format!("Trace: {} ({} frames at {w}x{h})", options.game, collector.frames().len()),
+        &["artifact", "detail"],
+    );
+    t.row(vec![
+        artifacts.chrome.clone(),
+        format!(
+            "{} events ({} spans, {} counter samples), {} tracks, final tick {}",
+            chrome.events, chrome.begin_events, chrome.counter_events, chrome.tracks, chrome.max_ts
+        ),
+    ]);
+    t.row(vec![artifacts.csv.clone(), format!("{} frame rows", collector.frames().len())]);
+    t.row(vec![
+        artifacts.binary.clone(),
+        format!("{} bytes, {} spans, CRC verified", bin_bytes.len(), bin.spans),
+    ]);
+    t.row(vec!["framebuffer crc".into(), format!("{:#010x}", gpu.framebuffer_crc())]);
+    println!("{}", t.to_ascii());
+    if collector.spans_dropped() > 0 {
+        eprintln!(
+            "trace: {} spans overwrote older ones (per-stripe ring capacity {})",
+            collector.spans_dropped(),
+            collector.meta().span_capacity
+        );
+    }
+    true
+}
+
 /// The supervised campaign: every experiment as a job, progress durable
 /// in `--dir`. Returns whether everything succeeded.
 fn run_campaign_cmd(options: &Options) -> bool {
     let dir = PathBuf::from(&options.dir);
     let (supervisor, _runner) = build_supervisor(options);
-    let jobs = gwc_bench::campaign_jobs(options.config, options.rung, &dir);
+    let jobs = gwc_bench::campaign_jobs(options.config, options.rung, &dir, options.trace);
     let campaign_opts = CampaignOptions {
         dir: dir.clone(),
         resume: options.campaign_resume,
@@ -627,7 +767,7 @@ fn main() {
     let needs_study = options
         .experiments
         .iter()
-        .any(|e| !matches!(e.as_str(), "ablations" | "replay" | "parallel" | "campaign"));
+        .any(|e| !matches!(e.as_str(), "ablations" | "replay" | "parallel" | "campaign" | "trace"));
     let study = if needs_study {
         let (study, ok) = build_study(&options);
         all_ok &= ok;
@@ -641,10 +781,11 @@ fn main() {
             "replay" => run_replay(&options),
             "parallel" => run_parallel_bench(&options),
             "campaign" => all_ok &= run_campaign_cmd(&options),
+            "trace" => all_ok &= run_trace(&options),
             _ => {
                 let study = study.as_ref().expect("study built for table/figure experiments");
                 if !run_experiment(study, experiment, options.csv) {
-                    bad_arg(format!("unknown experiment '{experiment}'"));
+                    bad_arg(format!("unknown experiment '{experiment}'\n{KNOWN_EXPERIMENTS}"));
                 }
             }
         }

@@ -56,6 +56,7 @@ fn malformed_flags_exit_two() {
         &["--frobnicate"],
         &["replay", "--checkpoint-every", "0"],
         &["--api-frames"], // missing value
+        &["trace", "--level", "banana"],
     ] {
         let out = repro(args);
         assert_eq!(code(&out), 2, "args {args:?}: stderr: {}", stderr(&out));
@@ -68,6 +69,67 @@ fn unknown_experiment_exits_two() {
     let out = repro(&[&["table99"], CHEAP].concat());
     assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
     assert!(stderr(&out).contains("unknown experiment 'table99'"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unknown_subcommand_exits_two_listing_known_ones() {
+    // Rejected at parse time — before any study burns cycles.
+    let out = repro(&["frobnicate"]);
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment 'frobnicate'"), "stderr: {err}");
+    assert!(err.contains("known experiments:"), "stderr must teach the vocabulary: {err}");
+    for known in ["all", "ablations", "replay", "parallel", "campaign", "trace"] {
+        assert!(err.contains(known), "stderr must list '{known}': {err}");
+    }
+}
+
+#[test]
+fn help_exits_zero_listing_every_flag() {
+    // Both the bare binary and the trace subcommand honour --help.
+    for args in [&["--help"] as &[&str], &["trace", "--help"], &["-h"]] {
+        let out = repro(args);
+        assert_eq!(code(&out), 0, "args {args:?}: stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        for flag in [
+            "--paper", "--quick", "--api-frames", "--sim-frames", "--res", "--csv", "--trace",
+            "--game", "--level", "--out", "--checkpoint-every", "--resume", "--threads", "--dir",
+            "--fail-fast", "--keep-going", "--max-retries", "--deadline-ms", "--work-budget",
+            "--breaker", "--backoff-ms", "--chaos", "--stop-after", "--help",
+        ] {
+            assert!(text.contains(flag), "args {args:?}: usage must list {flag}");
+        }
+        for experiment in ["all", "ablations", "replay", "parallel", "campaign", "trace"] {
+            assert!(text.contains(experiment), "args {args:?}: usage must list {experiment}");
+        }
+    }
+}
+
+#[test]
+fn trace_smoke_writes_validated_artifacts() {
+    let dir = temp_dir("trace");
+    fs::create_dir_all(&dir).expect("mkdir");
+    // `--game doom3` exercises the lenient fragment resolution too.
+    let out = repro(&[
+        "trace", "--game", "doom3", "--api-frames", "2", "--sim-frames", "1",
+        "--res", "48x36", "--out", dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("Doom3_trdemo2.trace.json"), "stdout: {}", stdout(&out));
+    for suffix in ["trace.json", "frames.csv", "trace.bin"] {
+        let path = dir.join(format!("Doom3_trdemo2.{suffix}"));
+        assert!(path.is_file(), "{} must exist", path.display());
+        assert!(fs::metadata(&path).expect("stat").len() > 0, "{} must be non-empty", path.display());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ambiguous_game_fragment_exits_two() {
+    // "riddick" matches two demos, neither simulated: no tiebreak applies.
+    let out = repro(&["replay", "--game", "riddick", "--sim-frames", "1", "--res", "48x36"]);
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("ambiguous game 'riddick'"), "stderr: {}", stderr(&out));
 }
 
 #[test]

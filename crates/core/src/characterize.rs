@@ -155,6 +155,21 @@ pub fn characterize_supervised(
     config: &RunConfig,
     cancel: Option<&CancelToken>,
 ) -> Option<GameCharacterization> {
+    characterize_traced(profile, config, cancel, gwc_telemetry::Level::Off).map(|(c, _)| c)
+}
+
+/// [`characterize_supervised`] with a telemetry collector attached to the
+/// simulated pass at `level`. Returns the collector alongside the
+/// characterization so callers can export its trace; it is `None` when
+/// `level` is `Off` or the profile has no simulated pass. A collector
+/// never changes the characterization itself — the work-tick clock runs
+/// either way.
+pub fn characterize_traced(
+    profile: &'static GameProfile,
+    config: &RunConfig,
+    cancel: Option<&CancelToken>,
+    level: gwc_telemetry::Level,
+) -> Option<(GameCharacterization, Option<gwc_telemetry::Collector>)> {
     let cancelled = |token: Option<&CancelToken>| token.is_some_and(CancelToken::is_cancelled);
 
     // API-level pass over the long window, frame by frame so a watchdog
@@ -172,6 +187,7 @@ pub fn characterize_supervised(
     }
 
     // Microarchitectural pass: OpenGL + simulated flag, like the paper.
+    let mut collector = None;
     let sim = if config.sim_frames > 0 && profile.api == GraphicsApi::OpenGl && profile.simulated
     {
         let mut demo =
@@ -180,10 +196,14 @@ pub fn characterize_supervised(
         if let Some(tok) = cancel {
             gpu.set_cancel_token(tok.clone());
         }
+        if level != gwc_telemetry::Level::Off {
+            gpu.enable_telemetry(level, profile.name, gwc_telemetry::DEFAULT_SPAN_CAPACITY);
+        }
         demo.emit_all(&mut gpu);
         if cancelled(cancel) {
             return None;
         }
+        collector = gpu.take_telemetry();
         let filtering = SampleStats {
             requests: gpu.stats().totals().tex_requests,
             bilinear_samples: gpu.stats().totals().bilinear_samples,
@@ -205,7 +225,7 @@ pub fn characterize_supervised(
     if cancelled(cancel) {
         return None;
     }
-    Some(GameCharacterization { profile, api, sim })
+    Some((GameCharacterization { profile, api, sim }, collector))
 }
 
 /// Runs the full Table I workload set.

@@ -20,7 +20,8 @@ use crate::json::{self, Json};
 use crate::supervisor::{FleetState, Supervisor};
 
 /// Manifest format version; bump on any incompatible schema change.
-pub const MANIFEST_VERSION: u64 = 1;
+/// Version 2 added the per-job `trace` artifact pointer.
+pub const MANIFEST_VERSION: u64 = 2;
 
 /// Manifest file name inside the campaign directory.
 pub const MANIFEST_FILE: &str = "campaign.json";
@@ -70,6 +71,8 @@ pub struct ManifestEntry {
     pub output_crc: u32,
     /// GWCK checkpoint pointer reported by the runner, if any.
     pub checkpoint: Option<String>,
+    /// Perfetto/Chrome trace pointer reported by the runner, if any.
+    pub trace: Option<String>,
     /// The job's base configuration (rungs derive from it).
     pub config: RunConfig,
 }
@@ -109,6 +112,7 @@ impl ManifestEntry {
             ("output".into(), opt_str(&self.output)),
             ("output_crc".into(), Json::Num(u64::from(self.output_crc))),
             ("checkpoint".into(), opt_str(&self.checkpoint)),
+            ("trace".into(), opt_str(&self.trace)),
             (
                 "config".into(),
                 Json::Obj(vec![
@@ -155,6 +159,7 @@ impl ManifestEntry {
             output: opt_str("output")?,
             output_crc: u32::try_from(v.get("output_crc")?.as_u64()?).ok()?,
             checkpoint: opt_str("checkpoint")?,
+            trace: opt_str("trace")?,
             config: RunConfig {
                 api_frames: cfg_u32("api_frames")?,
                 sim_frames: cfg_u32("sim_frames")?,
@@ -320,13 +325,18 @@ pub fn read_artifact(dir: &Path, entry: &ManifestEntry) -> io::Result<String> {
 }
 
 fn entry_from_report(dir: &Path, report: &JobReport) -> io::Result<ManifestEntry> {
-    let (output, output_crc, checkpoint) = match &report.product {
+    let (output, output_crc, checkpoint, trace) = match &report.product {
         Some(product) => {
             let name = artifact_name(report.job.id);
             fs::write(dir.join(&name), product.text.as_bytes())?;
-            (Some(name), crc32(product.text.as_bytes()), product.checkpoint.clone())
+            (
+                Some(name),
+                crc32(product.text.as_bytes()),
+                product.checkpoint.clone(),
+                product.trace.clone(),
+            )
         }
-        None => (None, 0, None),
+        None => (None, 0, None, None),
     };
     Ok(ManifestEntry {
         id: report.job.id,
@@ -342,6 +352,7 @@ fn entry_from_report(dir: &Path, report: &JobReport) -> io::Result<ManifestEntry
         output,
         output_crc,
         checkpoint,
+        trace,
         config: report.job.config,
     })
 }
@@ -447,6 +458,7 @@ mod tests {
             output: Some("job-007.out".into()),
             output_crc: 0xDEAD_BEEF,
             checkpoint: Some("job-007.gwck".into()),
+            trace: Some("job-007.trace.json".into()),
             config: RunConfig { api_frames: 3, sim_frames: 1, width: 64, height: 48, seed: 5 },
         };
         let parsed = ManifestEntry::from_json(&entry.to_json()).expect("round trip");

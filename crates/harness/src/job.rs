@@ -130,6 +130,10 @@ pub struct Job {
     pub start_rung: Rung,
     /// Where the runner should write a GWCK checkpoint, if anywhere.
     pub checkpoint: Option<String>,
+    /// Stem path for telemetry trace artifacts, if the job should trace.
+    /// The runner derives the actual file names from it (`<stem>.trace.json`,
+    /// `<stem>.frames.csv`, `<stem>.trace.bin`).
+    pub trace: Option<String>,
 }
 
 /// What a successful attempt hands back to the supervisor.
@@ -140,6 +144,8 @@ pub struct JobProduct {
     pub text: String,
     /// Path of the GWCK checkpoint the run produced, if any.
     pub checkpoint: Option<String>,
+    /// Path of the Perfetto/Chrome trace the run exported, if any.
+    pub trace: Option<String>,
 }
 
 /// A classified attempt failure returned by a runner (panics and

@@ -47,6 +47,7 @@
 //!     config: gwc_core::RunConfig::quick(),
 //!     start_rung: Rung::Default,
 //!     checkpoint: None,
+//!     trace: None,
 //! }];
 //! let supervisor = Supervisor::new(SupervisorConfig::default(), Arc::new(MyRunner));
 //! let opts = CampaignOptions { dir: "campaign".into(), resume: false, stop_after: None };

@@ -226,7 +226,7 @@ impl Supervisor {
                     work,
                 });
                 if ok {
-                    let product = product.unwrap_or(JobProduct { text: String::new(), checkpoint: None });
+                    let product = product.unwrap_or(JobProduct { text: String::new(), checkpoint: None, trace: None });
                     let outcome = if rung != job.start_rung {
                         Outcome::Degraded
                     } else if attempts.len() > 1 {
@@ -429,6 +429,7 @@ mod tests {
             config: RunConfig::quick(),
             start_rung: Rung::Default,
             checkpoint: None,
+            trace: None,
         }
     }
 
@@ -445,7 +446,7 @@ mod tests {
     struct Const(&'static str);
     impl JobRunner for Const {
         fn run(&self, _: &Job, _: Rung, _: u32, _: &CancelToken) -> Result<JobProduct, JobError> {
-            Ok(JobProduct { text: self.0.to_owned(), checkpoint: None })
+            Ok(JobProduct { text: self.0.to_owned(), checkpoint: None, trace: None })
         }
     }
 
@@ -465,7 +466,7 @@ mod tests {
                 self.0.fetch_add(1, Ordering::Relaxed);
                 panic!("injected first-attempt panic");
             }
-            Ok(JobProduct { text: "recovered".to_owned(), checkpoint: None })
+            Ok(JobProduct { text: "recovered".to_owned(), checkpoint: None, trace: None })
         }
     }
 

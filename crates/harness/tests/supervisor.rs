@@ -50,7 +50,7 @@ impl JobRunner for Scripted {
 }
 
 fn product(text: &str) -> JobProduct {
-    JobProduct { text: text.to_owned(), checkpoint: None }
+    JobProduct { text: text.to_owned(), checkpoint: None, trace: None }
 }
 
 fn job(id: u32, game: &str) -> Job {
@@ -61,6 +61,7 @@ fn job(id: u32, game: &str) -> Job {
         config: RunConfig { api_frames: 2, sim_frames: 0, width: 64, height: 48, seed: 7 },
         start_rung: Rung::Default,
         checkpoint: None,
+        trace: None,
     }
 }
 

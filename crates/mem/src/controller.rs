@@ -88,6 +88,16 @@ impl FrameTraffic {
         f
     }
 
+    /// Per-client counts in [`MemClient::ALL`] order — the inverse of
+    /// [`FrameTraffic::from_parts`], used by checkpointing and telemetry.
+    pub fn parts(&self) -> [ClientTraffic; 6] {
+        let mut out = [ClientTraffic::default(); 6];
+        for (slot, c) in out.iter_mut().zip(MemClient::ALL) {
+            *slot = self.clients[c.index()];
+        }
+        out
+    }
+
     /// Traffic of one client.
     pub fn client(&self, c: MemClient) -> ClientTraffic {
         self.clients[c.index()]

@@ -20,8 +20,10 @@
 const MAGIC: [u8; 4] = *b"GWCK";
 /// Container format version. Version 2 added the stripe layout to `CONF`
 /// and made the framebuffer cache records per-stripe in `FRAM` (the
-/// stripe-parallel fragment pipeline); version-1 blobs are rejected.
-const VERSION: u16 = 2;
+/// stripe-parallel fragment pipeline). Version 3 appended the work-tick
+/// clock to `CONF` so resumed runs continue the telemetry timebase.
+/// Older blobs are rejected.
+const VERSION: u16 = 3;
 
 /// Errors produced when reading a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -31,6 +31,7 @@ use gwc_mem::{tiled_offset, AccessKind, Cache, FrameTraffic, MemClient, MemoryCo
 use gwc_raster::{rasterize_band, BlendState, DepthState, HzBandView, Quad, RasterStats,
                  StencilState, TriangleSetup, Viewport, ZBandView, ZResult, MAX_VARYINGS};
 use gwc_shader::{ExecStats, Program, ShaderMachine};
+use gwc_telemetry::{SpanEvent, SpanRing, Stage};
 use gwc_texture::{SamplerState, Texture};
 
 use crate::budget::CancelToken;
@@ -142,6 +143,24 @@ pub(crate) struct StripeJob<'a> {
     pub shard: FrameSimStats,
     /// First classified fault in this stripe; stops the stripe's queue.
     pub fault: Option<SimError>,
+    /// Telemetry arm (spans level only): this stripe's detached span ring
+    /// plus the draw's base work tick.
+    pub trace: Option<StripeTrace>,
+}
+
+/// A stripe's telemetry state for one draw: the ring it records into and
+/// the global work tick the draw's fragment phase started at. Every stage
+/// span this stripe emits starts at `base`; durations are the stage's own
+/// fragment/quad counts, each bounded by the draw's total fragment count
+/// (which is exactly how far the global clock advances for the draw), so
+/// per-track timestamps never run backwards.
+pub(crate) struct StripeTrace {
+    /// Global work tick at the start of the draw's fragment phase.
+    pub base: u64,
+    /// The stripe's span ring, detached from the collector for the draw.
+    pub ring: SpanRing,
+    /// Tiles visited by traversal in this stripe (accumulated per draw).
+    pub tiles: u64,
 }
 
 /// What a stripe hands back after its draw flush: everything the master
@@ -163,6 +182,9 @@ pub(crate) struct StripeOutcome {
     pub traffic: FrameTraffic,
     /// Injected-corruption record from the stripe's fault injector.
     pub injected: Option<(&'static str, u64)>,
+    /// The stripe's span ring, carrying this draw's recorded stage spans
+    /// back to the collector (spans level only).
+    pub trace: Option<SpanRing>,
 }
 
 impl StripeJob<'_> {
@@ -183,6 +205,9 @@ impl StripeJob<'_> {
             self.shard.frags_raster += raster_stats.fragments;
             self.shard.quads_raster += raster_stats.quads;
             self.shard.quads_complete_raster += raster_stats.complete_quads;
+            if let Some(trace) = &mut self.trace {
+                trace.tiles += raster_stats.tiles_visited();
+            }
             if let Some(tok) = packet.cancel {
                 // Fragment-level budget granularity: a single huge
                 // triangle still charges its quads before the next check.
@@ -197,9 +222,14 @@ impl StripeJob<'_> {
         }
     }
 
-    /// Closes the job: reads back the band-view counters and drains the
-    /// stripe units, releasing all surface borrows.
-    pub fn finish(self) -> StripeOutcome {
+    /// Closes the job: records the draw's per-stage telemetry spans, reads
+    /// back the band-view counters, and drains the stripe units, releasing
+    /// all surface borrows.
+    pub fn finish(mut self) -> StripeOutcome {
+        let trace = self.trace.take().map(|mut trace| {
+            self.record_spans(&mut trace);
+            trace.ring
+        });
         StripeOutcome {
             index: self.index,
             shard: self.shard,
@@ -209,6 +239,28 @@ impl StripeJob<'_> {
             fault: self.fault,
             traffic: self.units.mem.take_current(),
             injected: self.units.mem.take_injected_faults(),
+            trace,
+        }
+    }
+
+    /// Emits this stripe's stage spans for the finished draw. The shard,
+    /// band views, and shader machine are all fresh per draw, so their
+    /// end-of-job counters *are* the per-draw deltas. Stages that did no
+    /// work emit nothing, keeping rings quiet on stripes a draw missed.
+    fn record_spans(&self, trace: &mut StripeTrace) {
+        let (hz_tested, hz_rejected) = self.hz.counts();
+        let fs = self.fs.stats();
+        let spans = [
+            (Stage::Raster, self.shard.frags_raster, self.shard.quads_raster, trace.tiles),
+            (Stage::HiZ, hz_tested, hz_rejected, 0),
+            (Stage::ZStencil, self.shard.frags_zst, self.shard.quads_zst_removed, self.z.writes()),
+            (Stage::Shade, self.shard.frags_shaded, fs.instructions, fs.texture_instructions),
+            (Stage::Blend, self.shard.frags_blended, self.shard.quads_blended, 0),
+        ];
+        for (stage, dur, arg0, arg1) in spans {
+            if dur > 0 {
+                trace.ring.push(SpanEvent { stage, start: trace.base, dur, arg0, arg1 });
+            }
         }
     }
 

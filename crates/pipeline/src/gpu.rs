@@ -13,6 +13,7 @@ use gwc_raster::{clip_near, BlendState, ClipResult, CompareFunc, CullMode,
                  DepthStencilBuffer, DepthState, FrontFace, HzBuffer, ShadedVertex,
                  StencilOp, StencilState, TriangleSetup, Viewport, MAX_VARYINGS};
 use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
+use gwc_telemetry::{Collector, FrameSample, Level, TraceMeta};
 use gwc_texture::{SampleStats, SamplerState, Texture};
 
 use crate::budget::CancelToken;
@@ -20,7 +21,7 @@ use crate::checkpoint::{self, CheckpointError, Dec, Enc, SectionWriter};
 use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
 use crate::error::{FaultPolicy, SimError};
-use crate::fragment::{DrawPacket, StripeJob, StripeOutcome, StripeUnits};
+use crate::fragment::{DrawPacket, StripeJob, StripeOutcome, StripeTrace, StripeUnits};
 use crate::stats::{FrameSimStats, SimStats};
 use crate::streamer::VertexCache;
 
@@ -115,6 +116,15 @@ pub struct Gpu {
     // discard. Not serialized — a restored GPU starts un-supervised.
     cancel: Option<CancelToken>,
 
+    // Observability: the deterministic work-tick clock and an optional
+    // telemetry collector keyed by it. The tick *always* advances — one
+    // per command, per assembled triangle, and per rasterized fragment —
+    // whether or not a collector is attached, so checkpoint bytes and
+    // resumed traces never depend on whether a run was observed. The
+    // collector itself is never serialized.
+    tick: u64,
+    telemetry: Option<Collector>,
+
     // Checkpoint support: every successful resource-creation command, in
     // order. Replaying the log through a fresh GPU reproduces the exact
     // VRAM layout (bump allocation is deterministic).
@@ -194,6 +204,8 @@ impl Gpu {
             skip_frame: false,
             first_error: None,
             cancel: None,
+            tick: 0,
+            telemetry: None,
             creation_log: Vec::new(),
             config,
         }
@@ -241,6 +253,50 @@ impl Gpu {
     /// Whether an attached [`CancelToken`] has tripped.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Attaches a telemetry [`Collector`]. Recording is keyed by the
+    /// work-tick clock, which advances identically with or without a
+    /// collector (and at any level), so attaching one cannot perturb the
+    /// simulation. Prefer [`Gpu::enable_telemetry`], which builds the
+    /// collector from this GPU's own configuration.
+    pub fn set_telemetry(&mut self, collector: Collector) {
+        let mut collector = collector;
+        collector.resume_at(self.tick);
+        self.telemetry = Some(collector);
+    }
+
+    /// Builds and attaches a [`Collector`] at `level` for a run labelled
+    /// `game`, deriving the trace metadata (framebuffer and stripe
+    /// geometry, memory client order, ring capacity) from this GPU.
+    pub fn enable_telemetry(&mut self, level: Level, game: &str, span_capacity: usize) {
+        let meta = TraceMeta {
+            game: game.to_string(),
+            width: self.config.width,
+            height: self.config.height,
+            stripe_rows: self.config.stripe_rows,
+            stripes: self.stripes.len() as u32,
+            clients: MemClient::ALL.iter().map(|c| c.name().to_string()).collect(),
+            span_capacity: span_capacity as u32,
+        };
+        self.set_telemetry(Collector::new(level, meta));
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detaches and returns the telemetry collector for export.
+    pub fn take_telemetry(&mut self) -> Option<Collector> {
+        self.telemetry.take()
+    }
+
+    /// The deterministic work-tick clock: one tick per consumed command,
+    /// per assembled triangle, and per rasterized fragment. Serialized in
+    /// checkpoints, so it survives resume; never derived from wall time.
+    pub fn work_tick(&self) -> u64 {
+        self.tick
     }
 
     /// Resolved fragment-pipeline worker count (see
@@ -474,9 +530,12 @@ impl Gpu {
         let tri_count = primitive.triangle_count(count as usize);
         let mut tris: Vec<(TriangleSetup, StencilState)> = Vec::new();
         let cancel = self.cancel.clone();
+        let draw_start = self.tick;
         for t in 0..tri_count {
-            // Supervised runs: one work tick per post-clip triangle, and a
-            // cheap bail-out so a runaway draw cannot outlive its budget.
+            // One work tick per assembled triangle — the budget charge and
+            // the telemetry clock count the same unit, and the clock runs
+            // whether or not either consumer is attached.
+            self.tick += 1;
             if let Some(tok) = &cancel {
                 tok.charge(1);
                 if tok.is_cancelled() {
@@ -509,7 +568,11 @@ impl Gpu {
         }
 
         // Phase 2 — stripe-parallel fragment flush.
-        self.flush_draw(tris, &fragment_program, early_z_ok, hz_ok)
+        self.flush_draw(tris, &fragment_program, early_z_ok, hz_ok)?;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_draw(draw_start, self.tick, tri_count as u64);
+        }
+        Ok(())
     }
 
     /// Sets up one post-clip triangle; survivors land in `tris` with the
@@ -551,6 +614,11 @@ impl Gpu {
         if tris.is_empty() {
             return Ok(());
         }
+        // Detach the telemetry rings before other fields of `self` are
+        // borrowed into the jobs. Each stripe records into its own ring;
+        // they return through the outcomes and reattach in stripe order.
+        let trace_base = self.tick;
+        let mut trace_rings = self.telemetry.as_mut().and_then(Collector::take_stripe_rings);
         let packet = DrawPacket {
             tris,
             program: fragment_program,
@@ -604,9 +672,16 @@ impl Gpu {
                     fs: proto.clone(),
                     shard: FrameSimStats::default(),
                     fault: None,
+                    trace: None,
                 }
             })
             .collect();
+        let mut jobs = jobs;
+        if let Some(rings) = trace_rings.take() {
+            for (job, ring) in jobs.iter_mut().zip(rings) {
+                job.trace = Some(StripeTrace { base: trace_base, ring, tiles: 0 });
+            }
+        }
 
         let workers = (self.threads as usize).min(jobs.len()).max(1);
         let mut outcomes: Vec<StripeOutcome> = if workers == 1 {
@@ -659,11 +734,13 @@ impl Gpu {
         let mut fs_delta = ExecStats::default();
         let mut fault: Option<SimError> = None;
         let mut injected: Option<(&'static str, u64)> = None;
+        let mut frag_ticks = 0u64;
         for o in &outcomes {
             self.frame.merge(&o.shard);
             self.hz.add_counts(o.hz_tested, o.hz_rejected);
             fs_delta.merge(&o.fs_delta);
             self.mem.absorb(&o.traffic);
+            frag_ticks += o.shard.frags_raster;
             if fault.is_none() {
                 fault = o.fault.clone();
             }
@@ -672,6 +749,19 @@ impl Gpu {
                     Some((_, total)) => *total += count,
                     None => injected = Some((client, count)),
                 }
+            }
+        }
+        // One work tick per rasterized fragment: the draw's total fragment
+        // count bounds every stripe's per-stage span duration, which is
+        // what keeps each per-stripe trace track monotonic.
+        self.tick += frag_ticks;
+        if let Some(t) = self.telemetry.as_mut() {
+            if t.spans_enabled() {
+                // Outcomes are already sorted, so the rings reattach in
+                // ascending stripe order — the same order the stat shards
+                // merged in above.
+                let rings: Vec<_> = outcomes.iter_mut().filter_map(|o| o.trace.take()).collect();
+                t.restore_stripe_rings(rings);
             }
         }
         let mut fs_total = *self.fs_machine.stats();
@@ -746,10 +836,11 @@ impl Gpu {
         // Shader execution deltas.
         let vs_now = *self.vs_machine.stats();
         let fs_now = *self.fs_machine.stats();
-        self.frame.vs_instructions = vs_now.instructions - self.vs_prev.instructions;
-        self.frame.fs_instructions = fs_now.instructions - self.fs_prev.instructions;
-        self.frame.fs_tex_instructions =
-            fs_now.texture_instructions - self.fs_prev.texture_instructions;
+        let vs_delta = vs_now.delta_since(&self.vs_prev);
+        let fs_delta = fs_now.delta_since(&self.fs_prev);
+        self.frame.vs_instructions = vs_delta.instructions;
+        self.frame.fs_instructions = fs_delta.instructions;
+        self.frame.fs_tex_instructions = fs_delta.texture_instructions;
         self.vs_prev = vs_now;
         self.fs_prev = fs_now;
 
@@ -763,10 +854,67 @@ impl Gpu {
         self.frame.tex_requests = tex.requests;
         self.frame.bilinear_samples = tex.bilinear_samples;
 
-        self.mem.end_frame();
+        let traffic = self.mem.end_frame();
+        if self.telemetry.as_ref().is_some_and(Collector::enabled) {
+            // Cache counters are cumulative on the simulator side; the
+            // collector converts them to per-frame deltas internally. The
+            // frame index comes from the stats history, so it is correct
+            // after a checkpoint resume too.
+            let sample = self.frame_sample(&traffic);
+            let tick = self.tick;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.end_frame(tick, sample);
+            }
+        }
         let frame = std::mem::take(&mut self.frame);
         self.stats.push_frame(frame);
         self.vcache.reset_stats();
+    }
+
+    /// Builds the telemetry row for the frame being retired. Cache fields
+    /// are the *cumulative* counters; [`Collector::end_frame`] differences
+    /// them against the previous frame.
+    fn frame_sample(&self, traffic: &FrameTraffic) -> FrameSample {
+        let z = self.z_cache_stats();
+        let color = self.color_cache_stats();
+        let (mut l0, mut l1) = ((0u64, 0u64), (0u64, 0u64));
+        for s in &self.stripes {
+            let [a, b] = s.texunit.cache_hit_counts();
+            l0 = (l0.0 + a.0, l0.1 + a.1);
+            l1 = (l1.0 + b.0, l1.1 + b.1);
+        }
+        let (vcache_lookups, vcache_hits) = self.vcache.frame_stats();
+        debug_assert_eq!(vcache_lookups, self.frame.indices);
+        let parts = traffic.parts();
+        FrameSample {
+            frame: self.stats.frames().len() as u64,
+            end_tick: self.tick,
+            batches: 0, // stamped by the collector from its draw count
+            indices: self.frame.indices,
+            shaded_vertices: self.frame.shaded_vertices,
+            vcache_hits,
+            triangles: self.frame.traversed,
+            frags_raster: self.frame.frags_raster,
+            frags_zst: self.frame.frags_zst,
+            frags_shaded: self.frame.frags_shaded,
+            frags_blended: self.frame.frags_blended,
+            quads_raster: self.frame.quads_raster,
+            quads_hz_removed: self.frame.quads_hz_removed,
+            quads_zst_removed: self.frame.quads_zst_removed,
+            quads_alpha_removed: self.frame.quads_alpha_removed,
+            tex_requests: self.frame.tex_requests,
+            bilinear_samples: self.frame.bilinear_samples,
+            z_accesses: z.accesses,
+            z_hits: z.hits,
+            color_accesses: color.accesses,
+            color_hits: color.hits,
+            tex_l0_accesses: l0.0,
+            tex_l0_hits: l0.1,
+            tex_l1_accesses: l1.0,
+            tex_l1_hits: l1.1,
+            bw_read: parts.iter().map(|c| c.read).collect(),
+            bw_written: parts.iter().map(|c| c.written).collect(),
+        }
     }
 
     fn write_back_z_line(&mut self, line: u64) {
@@ -876,6 +1024,10 @@ impl Gpu {
             },
             Command::Clear { mask, color, depth, stencil } => {
                 self.clear(*mask, *color, *depth, *stencil);
+                if let Some(t) = self.telemetry.as_mut() {
+                    let tick = self.tick;
+                    t.record_clear(tick);
+                }
             }
             Command::Draw { vertex_buffer, index_buffer, primitive, first, count } => {
                 // Different draws reference different vertex ranges; the
@@ -903,6 +1055,13 @@ impl Gpu {
     /// faults are absorbed (`Ok`), counted in [`SimStats`], and work is
     /// dropped at batch or frame granularity instead.
     pub fn try_consume(&mut self, command: &Command) -> Result<(), SimError> {
+        // One work tick per consumed command — charged against the budget
+        // token and advanced on the telemetry clock alike, skip or no skip,
+        // so the clock is a pure function of the command stream.
+        self.tick += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_command();
+        }
         // A tripped cancellation token stops all execution (no CP fetch,
         // no statistics): the supervisor has already decided this run's
         // results are void, so the only job left is to drain the stream
@@ -1061,6 +1220,11 @@ impl Gpu {
         conf.u32(self.config.stripe_rows);
         conf.u64(self.vram.allocated_bytes());
         conf.u32(self.stats.frames().len() as u32);
+        // The work-tick clock, so a resumed run's telemetry timebase
+        // continues instead of restarting at zero. The clock advances
+        // whether or not telemetry is attached, so this value — and hence
+        // the checkpoint bytes — never depends on observation.
+        conf.u64(self.tick);
         w.section(*b"CONF", &conf.buf);
 
         // RSRC: the resource-creation log (GWCT command records).
@@ -1199,8 +1363,12 @@ impl Gpu {
         }
         let vram_allocated = conf.u64()?;
         let frame_count = conf.u32()? as usize;
+        let tick = conf.u64()?;
 
         let mut gpu = Gpu::new(config);
+        // Resource/state replay below goes through `execute`, which does
+        // not touch the work-tick clock, so restoring it first is safe.
+        gpu.tick = tick;
 
         // Resources: replay the creation log through the normal execution
         // path; deterministic bump allocation reproduces every address.

@@ -87,6 +87,13 @@ impl VertexCache {
         }
     }
 
+    /// `(lookups, hits)` since the last [`VertexCache::reset_stats`] —
+    /// i.e. per-frame values at frame boundaries, where telemetry samples
+    /// them.
+    pub fn frame_stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+
     /// Resets statistics, keeping contents.
     pub fn reset_stats(&mut self) {
         self.hits = 0;

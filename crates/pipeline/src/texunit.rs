@@ -42,6 +42,14 @@ impl TextureUnit {
         self.l1.stats()
     }
 
+    /// Cumulative `(accesses, hits)` pairs for the L0 and L1 caches, in
+    /// that order — the compact form telemetry samples every frame.
+    pub fn cache_hit_counts(&self) -> [(u64, u64); 2] {
+        let l0 = self.l0.stats();
+        let l1 = self.l1.stats();
+        [(l0.accesses, l0.hits), (l1.accesses, l1.hits)]
+    }
+
     /// Filtering statistics (requests, bilinear samples).
     pub fn sample_stats(&self) -> &SampleStats {
         &self.stats

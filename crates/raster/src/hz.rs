@@ -273,6 +273,11 @@ impl HzBandView<'_> {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// `(tested, rejected)` in one call, for telemetry span arguments.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.tested, self.rejected)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,11 @@ impl RasterStats {
         self.tiles8 += other.tiles8;
     }
 
+    /// Tiles visited at either traversal level.
+    pub fn tiles_visited(&self) -> u64 {
+        self.tiles16 + self.tiles8
+    }
+
     /// Quad efficiency: fraction of emitted quads that are complete
     /// (Table X).
     pub fn quad_efficiency(&self) -> f64 {

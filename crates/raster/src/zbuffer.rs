@@ -187,6 +187,7 @@ impl DepthStencilBuffer {
                 rows: (depth.len() / width as usize) as u32,
                 depth,
                 stencil,
+                writes: 0,
             })
             .collect()
     }
@@ -237,6 +238,7 @@ pub struct ZBandView<'a> {
     rows: u32,
     depth: &'a mut [f32],
     stencil: &'a mut [u8],
+    writes: u64,
 }
 
 impl ZBandView<'_> {
@@ -284,7 +286,17 @@ impl ZBandView<'_> {
         ss: &StencilState,
     ) -> ZResult {
         let i = self.index(x, y);
-        test_pixel(&mut self.depth[i], &mut self.stencil[i], z, ds, ss)
+        let r = test_pixel(&mut self.depth[i], &mut self.stencil[i], z, ds, ss);
+        if r == ZResult::Pass && ds.test && ds.write {
+            self.writes += 1;
+        }
+        r
+    }
+
+    /// Depth values written through this view (test passes with depth
+    /// writes enabled), for telemetry span arguments.
+    pub fn writes(&self) -> u64 {
+        self.writes
     }
 
     /// Maximum stored depth within the 8×8 block containing `(x, y)`; see

@@ -28,6 +28,16 @@ impl ExecStats {
         self.instructions += other.instructions;
         self.texture_instructions += other.texture_instructions;
     }
+
+    /// The delta accumulated since `earlier` was captured. Counters are
+    /// monotonic, so this is how per-frame figures fall out of the
+    /// machines' cumulative totals.
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            instructions: self.instructions - earlier.instructions,
+            texture_instructions: self.texture_instructions - earlier.texture_instructions,
+        }
+    }
 }
 
 /// A quad texture request handed to the texture unit.

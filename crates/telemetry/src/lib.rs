@@ -1,0 +1,757 @@
+//! Deterministic in-pipeline observability for the gwc simulator.
+//!
+//! The collector records two kinds of data, both keyed by the simulator's
+//! **work tick** — the same deterministic unit the budget/cancellation
+//! machinery charges (one tick per API command, per assembled triangle, and
+//! per rasterized fragment). No wall clocks are involved anywhere, so a
+//! trace is a pure function of the replayed command stream: bit-identical
+//! across worker counts and across checkpoint/resume.
+//!
+//! * **Per-frame time-series** ([`FrameSample`]): the paper's headline
+//!   metrics — batches, vertices, fragments per stage, kill rates, cache
+//!   hit rates, per-client bandwidth — one row per simulated frame.
+//! * **Span events** ([`SpanEvent`]): begin/end intervals on fixed tracks
+//!   (frame, command processor, and one track per stripe × pipeline stage),
+//!   recorded into preallocated per-stripe ring buffers ([`SpanRing`]) and
+//!   merged back in ascending stripe order, mirroring how `SimStats` shards
+//!   merge.
+//!
+//! Exporters live in [`export`]: Chrome/Perfetto `trace_event` JSON,
+//! per-frame CSV, and a compact self-describing binary container with a
+//! CRC-32 trailer. [`validate`] checks exported JSON without any external
+//! tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod export;
+pub mod validate;
+
+/// Default capacity, in spans, of each per-track ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+// ---- level ------------------------------------------------------------
+
+/// How much the collector records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Record nothing. A collector at this level is behaviorally identical
+    /// to no collector at all.
+    #[default]
+    Off,
+    /// Per-frame time-series and aggregate stage counters, no span events.
+    Counters,
+    /// Everything: counters plus span events in the per-stripe rings.
+    Spans,
+}
+
+impl Level {
+    /// Parses `off`, `counters`, or `spans` (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        if s.eq_ignore_ascii_case("off") {
+            Some(Level::Off)
+        } else if s.eq_ignore_ascii_case("counters") {
+            Some(Level::Counters)
+        } else if s.eq_ignore_ascii_case("spans") {
+            Some(Level::Spans)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counters => "counters",
+            Level::Spans => "spans",
+        }
+    }
+}
+
+// ---- stages -----------------------------------------------------------
+
+/// Pipeline stage a span belongs to. Also the track-naming vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// One simulated frame, on the frame track.
+    Frame,
+    /// One draw call, on the command-processor track.
+    Draw,
+    /// One clear, on the command-processor track (zero duration).
+    Clear,
+    /// Triangle traversal / fragment generation inside one stripe.
+    Raster,
+    /// Hierarchical-Z quad rejection inside one stripe.
+    HiZ,
+    /// Z/stencil test inside one stripe.
+    ZStencil,
+    /// Fragment shading inside one stripe.
+    Shade,
+    /// Blend / color write inside one stripe.
+    Blend,
+}
+
+/// The per-stripe stages, in fixed track order.
+pub const STRIPE_STAGES: [Stage; 5] =
+    [Stage::Raster, Stage::HiZ, Stage::ZStencil, Stage::Shade, Stage::Blend];
+
+impl Stage {
+    /// Stable one-byte tag used by the binary format.
+    pub fn tag(self) -> u8 {
+        match self {
+            Stage::Frame => 0,
+            Stage::Draw => 1,
+            Stage::Clear => 2,
+            Stage::Raster => 3,
+            Stage::HiZ => 4,
+            Stage::ZStencil => 5,
+            Stage::Shade => 6,
+            Stage::Blend => 7,
+        }
+    }
+
+    /// Inverse of [`Stage::tag`].
+    pub fn from_tag(tag: u8) -> Option<Stage> {
+        Some(match tag {
+            0 => Stage::Frame,
+            1 => Stage::Draw,
+            2 => Stage::Clear,
+            3 => Stage::Raster,
+            4 => Stage::HiZ,
+            5 => Stage::ZStencil,
+            6 => Stage::Shade,
+            7 => Stage::Blend,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable stage name, used for trace event and track names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frame => "Frame",
+            Stage::Draw => "Draw",
+            Stage::Clear => "Clear",
+            Stage::Raster => "Raster",
+            Stage::HiZ => "HiZ",
+            Stage::ZStencil => "ZStencil",
+            Stage::Shade => "Shade",
+            Stage::Blend => "Blend",
+        }
+    }
+
+    /// Index of a per-stripe stage within [`STRIPE_STAGES`], if it is one.
+    pub fn stripe_slot(self) -> Option<usize> {
+        STRIPE_STAGES.iter().position(|s| *s == self)
+    }
+}
+
+// ---- span events and rings --------------------------------------------
+
+/// One recorded interval: `[start, start + dur)` in work ticks.
+///
+/// The two argument slots carry stage-specific payloads (documented per
+/// stage in DESIGN.md §4e): e.g. a `Raster` span stores rasterized quads
+/// and visited tiles, a `Shade` span stores executed and texture
+/// instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage the span belongs to (selects the track within its ring).
+    pub stage: Stage,
+    /// Start work tick.
+    pub start: u64,
+    /// Duration in work ticks (0 for instant events such as `Clear`).
+    pub dur: u64,
+    /// First stage-specific argument.
+    pub arg0: u64,
+    /// Second stage-specific argument.
+    pub arg1: u64,
+}
+
+/// Fixed-capacity span ring buffer. The buffer is preallocated once;
+/// when full, the oldest span is overwritten and `dropped` counts it.
+/// Iteration yields spans oldest-first, so exports stay deterministic
+/// under overflow as well.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRing {
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing { buf: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Records a span, overwriting the oldest when full.
+    pub fn push(&mut self, span: SpanEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.capacity {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates spans oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+// ---- per-frame samples ------------------------------------------------
+
+/// One row of the per-frame time-series. All counters are per-frame
+/// deltas (the collector converts the simulator's cumulative cache
+/// counters internally). Rates are derived at export time, never stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameSample {
+    /// Zero-based frame index across the whole run (resume-aware).
+    pub frame: u64,
+    /// Work tick at which the frame ended.
+    pub end_tick: u64,
+    /// Draw batches submitted this frame.
+    pub batches: u64,
+    /// Indices fetched by the streamer.
+    pub indices: u64,
+    /// Vertices actually shaded (post-vertex-cache).
+    pub shaded_vertices: u64,
+    /// Vertex cache hits.
+    pub vcache_hits: u64,
+    /// Triangles traversed by the rasterizer.
+    pub triangles: u64,
+    /// Fragments generated by traversal.
+    pub frags_raster: u64,
+    /// Fragment lanes entering Z/stencil test.
+    pub frags_zst: u64,
+    /// Fragments shaded.
+    pub frags_shaded: u64,
+    /// Fragments blended / written to color.
+    pub frags_blended: u64,
+    /// Quads generated by traversal.
+    pub quads_raster: u64,
+    /// Quads killed by hierarchical Z.
+    pub quads_hz_removed: u64,
+    /// Quads killed by Z/stencil test.
+    pub quads_zst_removed: u64,
+    /// Quads killed by alpha test / shader kill.
+    pub quads_alpha_removed: u64,
+    /// Texture requests issued by shading.
+    pub tex_requests: u64,
+    /// Bilinear samples performed for those requests.
+    pub bilinear_samples: u64,
+    /// Z cache accesses.
+    pub z_accesses: u64,
+    /// Z cache hits.
+    pub z_hits: u64,
+    /// Color cache accesses.
+    pub color_accesses: u64,
+    /// Color cache hits.
+    pub color_hits: u64,
+    /// Texture L0 cache accesses.
+    pub tex_l0_accesses: u64,
+    /// Texture L0 cache hits.
+    pub tex_l0_hits: u64,
+    /// Texture L1 cache accesses.
+    pub tex_l1_accesses: u64,
+    /// Texture L1 cache hits.
+    pub tex_l1_hits: u64,
+    /// Bytes read from memory this frame, one entry per client in
+    /// [`TraceMeta::clients`] order.
+    pub bw_read: Vec<u64>,
+    /// Bytes written to memory this frame, same order as `bw_read`.
+    pub bw_written: Vec<u64>,
+}
+
+impl FrameSample {
+    /// Column names of [`FrameSample::scalars`], in order. The binary
+    /// format embeds this list so readers never guess the layout.
+    pub const SCALAR_COLUMNS: [&'static str; 25] = [
+        "frame",
+        "end_tick",
+        "batches",
+        "indices",
+        "shaded_vertices",
+        "vcache_hits",
+        "triangles",
+        "frags_raster",
+        "frags_zst",
+        "frags_shaded",
+        "frags_blended",
+        "quads_raster",
+        "quads_hz_removed",
+        "quads_zst_removed",
+        "quads_alpha_removed",
+        "tex_requests",
+        "bilinear_samples",
+        "z_accesses",
+        "z_hits",
+        "color_accesses",
+        "color_hits",
+        "tex_l0_accesses",
+        "tex_l0_hits",
+        "tex_l1_accesses",
+        "tex_l1_hits",
+    ];
+
+    /// The fixed scalar fields, in [`FrameSample::SCALAR_COLUMNS`] order.
+    pub fn scalars(&self) -> [u64; 25] {
+        [
+            self.frame,
+            self.end_tick,
+            self.batches,
+            self.indices,
+            self.shaded_vertices,
+            self.vcache_hits,
+            self.triangles,
+            self.frags_raster,
+            self.frags_zst,
+            self.frags_shaded,
+            self.frags_blended,
+            self.quads_raster,
+            self.quads_hz_removed,
+            self.quads_zst_removed,
+            self.quads_alpha_removed,
+            self.tex_requests,
+            self.bilinear_samples,
+            self.z_accesses,
+            self.z_hits,
+            self.color_accesses,
+            self.color_hits,
+            self.tex_l0_accesses,
+            self.tex_l0_hits,
+            self.tex_l1_accesses,
+            self.tex_l1_hits,
+        ]
+    }
+
+    /// Total bytes read this frame across all clients.
+    pub fn total_read(&self) -> u64 {
+        self.bw_read.iter().sum()
+    }
+
+    /// Total bytes written this frame across all clients.
+    pub fn total_written(&self) -> u64 {
+        self.bw_written.iter().sum()
+    }
+}
+
+/// `100 * n / d` as a ratio, 0 when the denominator is 0. Used for every
+/// derived percentage so all exporters round identically.
+pub fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+// ---- metadata ---------------------------------------------------------
+
+/// Static description of the traced run, embedded in every export.
+/// Deliberately excludes the worker count: traces are thread-invariant
+/// and their bytes must be too.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Game profile name (e.g. `Doom3/trdemo2`).
+    pub game: String,
+    /// Framebuffer width in pixels.
+    pub width: u32,
+    /// Framebuffer height in pixels.
+    pub height: u32,
+    /// Rows per framebuffer stripe.
+    pub stripe_rows: u32,
+    /// Number of stripes.
+    pub stripes: u32,
+    /// Memory client names, fixing the order of per-client bandwidth
+    /// columns in [`FrameSample`].
+    pub clients: Vec<String>,
+    /// Capacity of each span ring.
+    pub span_capacity: u32,
+}
+
+// ---- aggregate counters -----------------------------------------------
+
+/// Cheap always-on aggregate counters (when the level is not `Off`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// API commands consumed.
+    pub commands: u64,
+    /// Draw calls executed.
+    pub draws: u64,
+    /// Clears executed.
+    pub clears: u64,
+    /// Triangles assembled across all draws.
+    pub triangles: u64,
+    /// Frames completed.
+    pub frames: u64,
+}
+
+// ---- collector --------------------------------------------------------
+
+/// The telemetry collector. Owned by the GPU; all recording entry points
+/// are O(1) and return immediately at [`Level::Off`], so an attached-but-
+/// disabled collector cannot perturb the simulation (and the simulation
+/// state never depends on whether one is attached at all).
+#[derive(Debug, Clone)]
+pub struct Collector {
+    level: Level,
+    meta: TraceMeta,
+    counters: StageCounters,
+    frames: Vec<FrameSample>,
+    frame_track: SpanRing,
+    cp_track: SpanRing,
+    stripe_tracks: Vec<SpanRing>,
+    frame_start_tick: u64,
+    draws_this_frame: u64,
+    /// Previous cumulative (accesses, hits) for z / color / tex L0 /
+    /// tex L1, used to turn the simulator's monotonic cache counters into
+    /// per-frame deltas.
+    prev_cache: [(u64, u64); 4],
+}
+
+impl Collector {
+    /// Creates a collector for a run described by `meta`. Ring buffers
+    /// (one per stripe, plus the frame and command-processor tracks) are
+    /// preallocated here; recording never allocates.
+    pub fn new(level: Level, meta: TraceMeta) -> Self {
+        let cap = if level == Level::Spans { meta.span_capacity as usize } else { 0 };
+        Collector {
+            level,
+            frame_track: SpanRing::new(cap),
+            cp_track: SpanRing::new(cap),
+            stripe_tracks: (0..meta.stripes).map(|_| SpanRing::new(cap)).collect(),
+            meta,
+            counters: StageCounters::default(),
+            frames: Vec::new(),
+            frame_start_tick: 0,
+            draws_this_frame: 0,
+            prev_cache: [(0, 0); 4],
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// True unless the level is [`Level::Off`].
+    pub fn enabled(&self) -> bool {
+        self.level != Level::Off
+    }
+
+    /// True when span events are being recorded.
+    pub fn spans_enabled(&self) -> bool {
+        self.level == Level::Spans
+    }
+
+    /// Run metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> &StageCounters {
+        &self.counters
+    }
+
+    /// The per-frame time-series collected so far.
+    pub fn frames(&self) -> &[FrameSample] {
+        &self.frames
+    }
+
+    /// The frame track ring.
+    pub fn frame_track(&self) -> &SpanRing {
+        &self.frame_track
+    }
+
+    /// The command-processor track ring.
+    pub fn cp_track(&self) -> &SpanRing {
+        &self.cp_track
+    }
+
+    /// The per-stripe rings, ascending stripe order.
+    pub fn stripe_tracks(&self) -> &[SpanRing] {
+        &self.stripe_tracks
+    }
+
+    /// Spans dropped across all rings due to overflow.
+    pub fn spans_dropped(&self) -> u64 {
+        self.frame_track.dropped()
+            + self.cp_track.dropped()
+            + self.stripe_tracks.iter().map(SpanRing::dropped).sum::<u64>()
+    }
+
+    /// Spans currently held across all rings.
+    pub fn spans_recorded(&self) -> usize {
+        self.frame_track.len()
+            + self.cp_track.len()
+            + self.stripe_tracks.iter().map(SpanRing::len).sum::<usize>()
+    }
+
+    /// Seeds the frame timebase after a checkpoint restore, so the first
+    /// post-resume frame span starts at the restored tick rather than 0.
+    pub fn resume_at(&mut self, tick: u64) {
+        self.frame_start_tick = tick;
+    }
+
+    /// Records one consumed API command.
+    pub fn record_command(&mut self) {
+        if self.level == Level::Off {
+            return;
+        }
+        self.counters.commands += 1;
+    }
+
+    /// Records a completed draw spanning `[start, end)` work ticks.
+    pub fn record_draw(&mut self, start: u64, end: u64, triangles: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        self.counters.draws += 1;
+        self.counters.triangles += triangles;
+        self.draws_this_frame += 1;
+        if self.level == Level::Spans {
+            self.cp_track.push(SpanEvent {
+                stage: Stage::Draw,
+                start,
+                dur: end - start,
+                arg0: triangles,
+                arg1: 0,
+            });
+        }
+    }
+
+    /// Records a clear at `tick`.
+    pub fn record_clear(&mut self, tick: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        self.counters.clears += 1;
+        if self.level == Level::Spans {
+            self.cp_track
+                .push(SpanEvent { stage: Stage::Clear, start: tick, dur: 0, arg0: 0, arg1: 0 });
+        }
+    }
+
+    /// Detaches the per-stripe rings so stripe jobs can record into them
+    /// without borrowing the collector. Returns `None` below
+    /// [`Level::Spans`]. The caller must hand them back via
+    /// [`Collector::restore_stripe_rings`] in ascending stripe order —
+    /// the same fixed order `SimStats` shards merge in.
+    pub fn take_stripe_rings(&mut self) -> Option<Vec<SpanRing>> {
+        if self.level == Level::Spans {
+            Some(std::mem::take(&mut self.stripe_tracks))
+        } else {
+            None
+        }
+    }
+
+    /// Reattaches rings taken by [`Collector::take_stripe_rings`].
+    pub fn restore_stripe_rings(&mut self, rings: Vec<SpanRing>) {
+        self.stripe_tracks = rings;
+    }
+
+    /// Closes the current frame at `end_tick`. `sample` carries the
+    /// frame's counters, with the four cache fields still *cumulative*
+    /// (as the simulator tracks them); this converts them to per-frame
+    /// deltas, stamps the batch count, and records the frame span.
+    pub fn end_frame(&mut self, end_tick: u64, mut sample: FrameSample) {
+        if self.level == Level::Off {
+            return;
+        }
+        sample.end_tick = end_tick;
+        sample.batches = self.draws_this_frame;
+        self.draws_this_frame = 0;
+
+        let cum = [
+            (sample.z_accesses, sample.z_hits),
+            (sample.color_accesses, sample.color_hits),
+            (sample.tex_l0_accesses, sample.tex_l0_hits),
+            (sample.tex_l1_accesses, sample.tex_l1_hits),
+        ];
+        let d = |i: usize| {
+            (cum[i].0.wrapping_sub(self.prev_cache[i].0), cum[i].1.wrapping_sub(self.prev_cache[i].1))
+        };
+        (sample.z_accesses, sample.z_hits) = d(0);
+        (sample.color_accesses, sample.color_hits) = d(1);
+        (sample.tex_l0_accesses, sample.tex_l0_hits) = d(2);
+        (sample.tex_l1_accesses, sample.tex_l1_hits) = d(3);
+        self.prev_cache = cum;
+
+        if self.level == Level::Spans {
+            self.frame_track.push(SpanEvent {
+                stage: Stage::Frame,
+                start: self.frame_start_tick,
+                dur: end_tick - self.frame_start_tick,
+                arg0: sample.batches,
+                arg1: sample.frags_raster,
+            });
+        }
+        self.frame_start_tick = end_tick;
+        self.counters.frames += 1;
+        self.frames.push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(stripes: u32, cap: u32) -> TraceMeta {
+        TraceMeta {
+            game: "Test/demo".into(),
+            width: 64,
+            height: 48,
+            stripe_rows: 16,
+            stripes,
+            clients: vec!["a".into(), "b".into()],
+            span_capacity: cap,
+        }
+    }
+
+    #[test]
+    fn level_parses_case_insensitively() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("Counters"), Some(Level::Counters));
+        assert_eq!(Level::parse("SPANS"), Some(Level::Spans));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::Spans.name(), "spans");
+    }
+
+    #[test]
+    fn stage_tags_roundtrip() {
+        for stage in [
+            Stage::Frame,
+            Stage::Draw,
+            Stage::Clear,
+            Stage::Raster,
+            Stage::HiZ,
+            Stage::ZStencil,
+            Stage::Shade,
+            Stage::Blend,
+        ] {
+            assert_eq!(Stage::from_tag(stage.tag()), Some(stage));
+        }
+        assert_eq!(Stage::from_tag(200), None);
+        for (i, stage) in STRIPE_STAGES.iter().enumerate() {
+            assert_eq!(stage.stripe_slot(), Some(i));
+        }
+        assert_eq!(Stage::Frame.stripe_slot(), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = SpanRing::new(3);
+        let span = |start| SpanEvent { stage: Stage::Raster, start, dur: 1, arg0: 0, arg1: 0 };
+        for t in 0..5 {
+            ring.push(span(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let starts: Vec<u64> = ring.iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![2, 3, 4], "oldest-first iteration after wraparound");
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = SpanRing::new(0);
+        ring.push(SpanEvent { stage: Stage::Draw, start: 0, dur: 0, arg0: 0, arg1: 0 });
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn off_collector_records_nothing() {
+        let mut c = Collector::new(Level::Off, meta(3, 16));
+        c.record_command();
+        c.record_draw(0, 10, 5);
+        c.record_clear(11);
+        c.end_frame(20, FrameSample::default());
+        assert_eq!(c.counters(), &StageCounters::default());
+        assert!(c.frames().is_empty());
+        assert_eq!(c.spans_recorded(), 0);
+        assert!(c.take_stripe_rings().is_none());
+    }
+
+    #[test]
+    fn counters_level_skips_spans() {
+        let mut c = Collector::new(Level::Counters, meta(2, 16));
+        c.record_draw(0, 10, 5);
+        c.end_frame(20, FrameSample::default());
+        assert_eq!(c.counters().draws, 1);
+        assert_eq!(c.frames().len(), 1);
+        assert_eq!(c.frames()[0].batches, 1);
+        assert_eq!(c.spans_recorded(), 0);
+        assert!(c.take_stripe_rings().is_none());
+    }
+
+    #[test]
+    fn cache_counters_become_per_frame_deltas() {
+        let mut c = Collector::new(Level::Counters, meta(1, 16));
+        let mut s = FrameSample { z_accesses: 100, z_hits: 80, ..FrameSample::default() };
+        c.end_frame(10, s.clone());
+        s.z_accesses = 250;
+        s.z_hits = 180;
+        c.end_frame(20, s);
+        assert_eq!(c.frames()[0].z_accesses, 100);
+        assert_eq!(c.frames()[0].z_hits, 80);
+        assert_eq!(c.frames()[1].z_accesses, 150);
+        assert_eq!(c.frames()[1].z_hits, 100);
+    }
+
+    #[test]
+    fn frame_spans_chain_and_resume_seeds_the_timebase() {
+        let mut c = Collector::new(Level::Spans, meta(1, 16));
+        c.resume_at(1000);
+        c.end_frame(1500, FrameSample::default());
+        c.end_frame(1800, FrameSample::default());
+        let spans: Vec<&SpanEvent> = c.frame_track().iter().collect();
+        assert_eq!((spans[0].start, spans[0].dur), (1000, 500));
+        assert_eq!((spans[1].start, spans[1].dur), (1500, 300));
+    }
+
+    #[test]
+    fn stripe_rings_roundtrip_through_take_restore() {
+        let mut c = Collector::new(Level::Spans, meta(2, 8));
+        let mut rings = c.take_stripe_rings().expect("spans level hands out rings");
+        assert_eq!(rings.len(), 2);
+        rings[1].push(SpanEvent { stage: Stage::Shade, start: 5, dur: 3, arg0: 9, arg1: 0 });
+        c.restore_stripe_rings(rings);
+        assert_eq!(c.stripe_tracks()[1].len(), 1);
+        assert_eq!(c.spans_recorded(), 1);
+    }
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert_eq!(pct(1, 4), 25.0);
+    }
+}

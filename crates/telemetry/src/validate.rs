@@ -1,0 +1,423 @@
+//! Self-contained Chrome `trace_event` JSON validation.
+//!
+//! The CI trace-smoke job and `repro trace` both need to prove an emitted
+//! trace is structurally sound — well-formed JSON, required fields on
+//! every event, per-track monotonic timestamps, and strictly matched
+//! begin/end span pairs — without any external tooling, so this module
+//! carries a minimal JSON parser of its own.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys keep insertion order irrelevant by
+/// sorting into a `BTreeMap`; duplicate keys are rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("non-UTF-8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired: the
+                            // exporters never emit them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: collect the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 lead byte")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.value()?;
+                    if map.insert(key.clone(), value).is_some() {
+                        return Err(self.err(&format!("duplicate key '{key}'")));
+                    }
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(map));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(self.err(&format!("unexpected byte {other:#04x}"))),
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    Ok(v)
+}
+
+/// Summary returned by [`validate_chrome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `B` (span begin) events; equal to the number of `E` events.
+    pub begin_events: usize,
+    /// `C` (counter) events.
+    pub counter_events: usize,
+    /// Distinct `(pid, tid)` tracks seen.
+    pub tracks: usize,
+    /// Largest timestamp in the trace.
+    pub max_ts: u64,
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Option<&'a Json> {
+    obj.get(key)
+}
+
+fn require_u64(obj: &BTreeMap<String, Json>, key: &str, at: usize) -> Result<u64, String> {
+    match get(obj, key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+            Ok(*n as u64)
+        }
+        Some(other) => {
+            Err(format!("event {at}: field '{key}' is {} but must be a non-negative integer", other.type_name()))
+        }
+        None => Err(format!("event {at}: missing required field '{key}'")),
+    }
+}
+
+fn require_str<'a>(obj: &'a BTreeMap<String, Json>, key: &str, at: usize) -> Result<&'a str, String> {
+    match get(obj, key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(other) => Err(format!("event {at}: field '{key}' is {} but must be a string", other.type_name())),
+        None => Err(format!("event {at}: missing required field '{key}'")),
+    }
+}
+
+/// Validates a Chrome `trace_event` JSON document:
+///
+/// * the document parses and has a `traceEvents` array of objects;
+/// * every event has a known phase (`M`, `B`, `E`, or `C`);
+/// * `B`/`C` events carry `name`, `ts`, `pid`, `tid`, and `args`;
+/// * per `(pid, tid)` track, timestamps never decrease;
+/// * every `E` closes the most recent open `B` on its track, and no
+///   span is left open at the end of the trace.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(text)?;
+    let Json::Obj(root) = doc else {
+        return Err("trace root is not a JSON object".into());
+    };
+    let Some(Json::Arr(events)) = get(&root, "traceEvents") else {
+        return Err("trace has no 'traceEvents' array".into());
+    };
+
+    // Per-track state: (last timestamp, stack of open span names).
+    let mut trackstate: BTreeMap<(u64, u64), (u64, Vec<String>)> = BTreeMap::new();
+    let mut begin_events = 0usize;
+    let mut end_events = 0usize;
+    let mut counter_events = 0usize;
+    let mut max_ts = 0u64;
+
+    for (i, event) in events.iter().enumerate() {
+        let Json::Obj(e) = event else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let phase = require_str(e, "ph", i)?;
+        if phase == "M" {
+            require_str(e, "name", i)?;
+            continue;
+        }
+        let pid = require_u64(e, "pid", i)?;
+        let tid = require_u64(e, "tid", i)?;
+        let ts = require_u64(e, "ts", i)?;
+        max_ts = max_ts.max(ts);
+        let (last_ts, stack) = trackstate.entry((pid, tid)).or_insert((0, Vec::new()));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i}: track ({pid},{tid}) timestamp went backwards ({ts} < {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        match phase {
+            "B" => {
+                let name = require_str(e, "name", i)?;
+                if !matches!(get(e, "args"), Some(Json::Obj(_))) {
+                    return Err(format!("event {i}: 'B' event has no args object"));
+                }
+                stack.push(name.to_string());
+                begin_events += 1;
+            }
+            "E" => {
+                if stack.pop().is_none() {
+                    return Err(format!("event {i}: 'E' with no open span on track ({pid},{tid})"));
+                }
+                end_events += 1;
+            }
+            "C" => {
+                require_str(e, "name", i)?;
+                if !matches!(get(e, "args"), Some(Json::Obj(_))) {
+                    return Err(format!("event {i}: 'C' event has no args object"));
+                }
+                counter_events += 1;
+            }
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+
+    for ((pid, tid), (_, stack)) in &trackstate {
+        if let Some(name) = stack.last() {
+            return Err(format!("span '{name}' left open on track ({pid},{tid})"));
+        }
+    }
+    if begin_events != end_events {
+        return Err(format!("{begin_events} 'B' events but {end_events} 'E' events"));
+    }
+
+    Ok(ChromeSummary {
+        events: events.len(),
+        begin_events,
+        counter_events,
+        tracks: trackstate.len(),
+        max_ts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        let doc = parse_json(r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":null,"e":true}}"#).unwrap();
+        let Json::Obj(root) = doc else { panic!("not an object") };
+        assert!(matches!(root.get("a"), Some(Json::Arr(v)) if v.len() == 3));
+        let Some(Json::Obj(b)) = root.get("b") else { panic!("b missing") };
+        assert_eq!(b.get("c"), Some(&Json::Str("x\ny".into())));
+        assert_eq!(b.get("d"), Some(&Json::Null));
+        assert_eq!(b.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json(r#""unterminated"#).is_err());
+    }
+
+    fn trace(events: &str) -> String {
+        format!(r#"{{"traceEvents":[{events}]}}"#)
+    }
+
+    #[test]
+    fn balanced_spans_validate() {
+        let t = trace(
+            r#"{"name":"Draw","cat":"g","ph":"B","ts":5,"pid":1,"tid":1,"args":{}},
+               {"ph":"E","ts":9,"pid":1,"tid":1},
+               {"name":"x","ph":"C","ts":9,"pid":1,"tid":0,"args":{"v":1}}"#,
+        );
+        let s = validate_chrome(&t).expect("valid");
+        assert_eq!(s.begin_events, 1);
+        assert_eq!(s.counter_events, 1);
+        assert_eq!(s.max_ts, 9);
+        assert_eq!(s.tracks, 2);
+    }
+
+    #[test]
+    fn unmatched_and_backwards_events_fail() {
+        let open = trace(r#"{"name":"Draw","ph":"B","ts":5,"pid":1,"tid":1,"args":{}}"#);
+        assert!(validate_chrome(&open).unwrap_err().contains("left open"));
+
+        let stray = trace(r#"{"ph":"E","ts":5,"pid":1,"tid":1}"#);
+        assert!(validate_chrome(&stray).unwrap_err().contains("no open span"));
+
+        let backwards = trace(
+            r#"{"name":"a","ph":"C","ts":9,"pid":1,"tid":0,"args":{}},
+               {"name":"b","ph":"C","ts":3,"pid":1,"tid":0,"args":{}}"#,
+        );
+        assert!(validate_chrome(&backwards).unwrap_err().contains("backwards"));
+
+        let unknown = trace(r#"{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}"#);
+        assert!(validate_chrome(&unknown).unwrap_err().contains("unknown phase"));
+    }
+
+    #[test]
+    fn missing_fields_are_named_in_the_error() {
+        let t = trace(r#"{"name":"Draw","ph":"B","pid":1,"tid":1,"args":{}}"#);
+        assert!(validate_chrome(&t).unwrap_err().contains("'ts'"));
+    }
+}

@@ -18,6 +18,7 @@
 //! - [`raster`] — tiled rasterizer, depth/stencil, HZ
 //! - [`api`] — the traced command stream
 //! - [`pipeline`] — the GPU simulator
+//! - [`telemetry`] — work-tick traces, per-frame series, Perfetto/CSV export
 //! - [`workloads`] — the synthetic timedemos
 //! - [`core`] — the characterization study + tables/figures
 //!
@@ -43,5 +44,6 @@ pub use gwc_pipeline as pipeline;
 pub use gwc_raster as raster;
 pub use gwc_shader as shader;
 pub use gwc_stats as stats;
+pub use gwc_telemetry as telemetry;
 pub use gwc_texture as texture;
 pub use gwc_workloads as workloads;

@@ -139,6 +139,122 @@ fn resume_across_thread_counts_is_bit_identical() {
     }
 }
 
+// ---- telemetry determinism --------------------------------------------
+
+use gwc::telemetry::{export, Level};
+
+/// Replays `trace` with a telemetry collector attached at `level` and
+/// returns the GPU plus the detached collector.
+fn run_traced(
+    trace: &Trace,
+    width: u32,
+    height: u32,
+    threads: u32,
+    level: Level,
+) -> (Gpu, gwc::telemetry::Collector) {
+    let mut gpu = Gpu::new(config_with_threads(width, height, threads));
+    gpu.enable_telemetry(level, "determinism-test", 256);
+    trace.replay(&mut gpu);
+    let collector = gpu.take_telemetry().expect("collector attached above");
+    (gpu, collector)
+}
+
+/// Telemetry is observation, never participation: with the collector
+/// disabled (`Level::Off`) — and even fully enabled — statistics,
+/// framebuffer contents, and checkpoint blobs are bit-identical to a run
+/// with no collector at all, for every profile that matters here.
+#[test]
+fn telemetry_does_not_change_simulation_results() {
+    for name in ["Doom3/trdemo2", "Quake4/demo4"] {
+        let trace = record(name, 3);
+        let bare = run(&trace, 96, 72, 1);
+        let reference = bare.save_checkpoint();
+        for level in [Level::Off, Level::Counters, Level::Spans] {
+            let (gpu, _) = run_traced(&trace, 96, 72, 1, level);
+            assert_eq!(bare.stats(), gpu.stats(), "{name}: SimStats drifted at {level:?}");
+            assert_eq!(
+                bare.framebuffer_crc(),
+                gpu.framebuffer_crc(),
+                "{name}: framebuffer drifted at {level:?}"
+            );
+            assert_eq!(
+                reference,
+                gpu.save_checkpoint(),
+                "{name}: checkpoint bytes drifted at {level:?}"
+            );
+        }
+    }
+}
+
+/// The exported trace artifacts are keyed by work ticks, not wall time or
+/// scheduling, so every worker count produces the same bytes.
+#[test]
+fn exported_traces_are_thread_count_invariant() {
+    let trace = record("Doom3/trdemo2", 3);
+    let (_, serial) = run_traced(&trace, 96, 72, 1, Level::Spans);
+    let reference = (
+        export::chrome_json(&serial),
+        export::frames_csv(&serial),
+        export::binary(&serial),
+    );
+    export::validate_binary(&reference.2).expect("binary round-trips");
+    for threads in [2, 4] {
+        let (_, parallel) = run_traced(&trace, 96, 72, threads, Level::Spans);
+        assert_eq!(
+            reference.0,
+            export::chrome_json(&parallel),
+            "{threads} threads: Chrome JSON drifted"
+        );
+        assert_eq!(
+            reference.1,
+            export::frames_csv(&parallel),
+            "{threads} threads: frames CSV drifted"
+        );
+        assert_eq!(reference.2, export::binary(&parallel), "{threads} threads: binary drifted");
+    }
+}
+
+/// The work-tick clock is persistent state: a collector attached after a
+/// checkpoint restore produces byte-identical tail traces to one attached
+/// at the same frame boundary of an uninterrupted run — across thread
+/// counts on either side of the boundary.
+#[test]
+fn resumed_tail_traces_are_bit_identical() {
+    let trace = record("Quake4/demo4", 4);
+
+    // Reference: uninterrupted run, collector attached after frame 2.
+    let mut gpu = Gpu::new(config_with_threads(96, 72, 1));
+    trace.replay_frames(2, &mut gpu);
+    gpu.enable_telemetry(Level::Spans, "tail", 256);
+    trace.replay_from(2, &mut gpu);
+    let reference = gpu.take_telemetry().expect("collector attached");
+    let reference_json = export::chrome_json(&reference);
+    let reference_bin = export::binary(&reference);
+    assert!(!reference.frames().is_empty(), "tail collector saw frames");
+
+    for (head_threads, tail_threads) in [(1, 1), (1, 4), (4, 1), (2, 4)] {
+        let mut head = Gpu::new(config_with_threads(96, 72, head_threads));
+        trace.replay_frames(2, &mut head);
+        let blob = head.save_checkpoint();
+
+        let mut tail = Gpu::restore_checkpoint(config_with_threads(96, 72, tail_threads), &blob)
+            .expect("restores");
+        tail.enable_telemetry(Level::Spans, "tail", 256);
+        trace.replay_from(2, &mut tail);
+        let resumed = tail.take_telemetry().expect("collector attached");
+        assert_eq!(
+            reference_json,
+            export::chrome_json(&resumed),
+            "head at {head_threads}, tail at {tail_threads}: Chrome JSON drifted across resume"
+        );
+        assert_eq!(
+            reference_bin,
+            export::binary(&resumed),
+            "head at {head_threads}, tail at {tail_threads}: binary drifted across resume"
+        );
+    }
+}
+
 /// The stripe layout *is* persistent state: restoring a checkpoint under a
 /// different `stripe_rows` would scatter the per-stripe caches across the
 /// wrong framebuffer bands, so it must be refused, not guessed at.
