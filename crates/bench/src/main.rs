@@ -46,6 +46,17 @@ experiments:
                        CSV time-series, and a GWTB binary — validated
                        before the run counts as a success (see --game,
                        --level, --out)
+  serve                run the characterization daemon: jobs arrive over
+                       HTTP, every state transition is journaled to a
+                       CRC-guarded write-ahead log in --data-dir before it
+                       takes effect (kill -9 recovers on restart), results
+                       are cached by content hash, overload is shed with
+                       429 + Retry-After, and SIGTERM or POST /shutdown
+                       drains gracefully to exit 0
+  submit               submit one job to a running daemon and print the
+                       response (see --addr, --game, --kind, --wait)
+  status               query a running daemon: overall /stats, or one job
+                       by --hash
 
 options:
   --threads N          fragment-pipeline worker threads (default: the
@@ -94,10 +105,31 @@ campaign / supervision options:
                        failures into jobs (exercises the supervisor)
   --stop-after N       stop — as if killed — after executing N jobs
                        (exercises --resume)
+
+serve / submit / status options:
+  --addr HOST:PORT     daemon address: bind address for 'serve' (default
+                       127.0.0.1:7341; port 0 picks a free one, written to
+                       <data-dir>/addr); connect address for 'submit' and
+                       'status' (default: read <data-dir>/addr, falling
+                       back to 127.0.0.1:7341)
+  --data-dir PATH      daemon data directory — journal, lock, artifacts
+                       (default serve-data)
+  --workers N          daemon worker threads; 0 journals submissions but
+                       executes nothing (default 2)
+  --queue-cap N        bounded admission queue depth; submissions past it
+                       are shed with 429 + Retry-After (default 16);
+                       --breaker doubles as the daemon's global circuit-
+                       breaker threshold
+  --kind KIND          experiment to submit: characterize, replay, or
+                       ablations (default characterize)
+  --wait               submit: poll until the job finishes, print its
+                       terminal entry, and exit by its outcome
+  --hash HEX           status: show one job by its 16-hex content hash
   --help, -h           print this usage and exit 0
 
-exit status: 0 all experiments succeeded; 1 at least one supervised job
-ended timed-out, panicked, or skipped (or a campaign was interrupted);
+exit status: 0 all experiments succeeded (for 'serve': a clean drain);
+1 at least one supervised job ended timed-out, panicked, or skipped (or a
+campaign was interrupted, or the daemon fail-stopped on a journal error);
 2 malformed invocation or unusable input file";
 
 fn help() -> ! {
@@ -135,6 +167,13 @@ struct Options {
     backoff_ms: u64,
     chaos: Option<u64>,
     stop_after: Option<usize>,
+    addr: Option<String>,
+    data_dir: String,
+    workers: usize,
+    queue_cap: usize,
+    kind: gwc_harness::Experiment,
+    wait: bool,
+    hash: Option<String>,
 }
 
 impl Options {
@@ -147,11 +186,14 @@ impl Options {
 
 /// The experiment vocabulary, for unknown-experiment diagnostics.
 const KNOWN_EXPERIMENTS: &str =
-    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace";
+    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace, serve, submit, status";
 
 fn is_experiment_name(s: &str) -> bool {
-    matches!(s, "all" | "ablations" | "replay" | "parallel" | "campaign" | "trace")
-        || s.starts_with("table")
+    matches!(
+        s,
+        "all" | "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
+            | "status"
+    ) || s.starts_with("table")
         || s.starts_with("fig")
 }
 
@@ -178,6 +220,13 @@ fn parse_args() -> Options {
     let mut backoff_ms = 100u64;
     let mut chaos = None;
     let mut stop_after = None;
+    let mut addr = None;
+    let mut data_dir = "serve-data".to_string();
+    let mut workers = 2usize;
+    let mut queue_cap = 16usize;
+    let mut kind = gwc_harness::Experiment::Characterize;
+    let mut wait = false;
+    let mut hash = None;
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -266,6 +315,25 @@ fn parse_args() -> Options {
             "--stop-after" => {
                 stop_after = Some(parse(&arg, value(&mut args, &arg), "a job count"))
             }
+            "--addr" => addr = Some(value(&mut args, &arg)),
+            "--data-dir" => data_dir = value(&mut args, &arg),
+            "--workers" => workers = parse(&arg, value(&mut args, &arg), "a worker count"),
+            "--queue-cap" => {
+                queue_cap = parse(&arg, value(&mut args, &arg), "a queue depth");
+                if queue_cap == 0 {
+                    bad_arg("invalid value '0' for '--queue-cap' (expected a positive queue depth)".into());
+                }
+            }
+            "--kind" => {
+                let v = value(&mut args, &arg);
+                kind = gwc_harness::Experiment::from_name(&v).unwrap_or_else(|| {
+                    bad_arg(format!(
+                        "invalid value '{v}' for '--kind' (expected characterize, replay, or ablations)"
+                    ))
+                });
+            }
+            "--wait" => wait = true,
+            "--hash" => hash = Some(value(&mut args, &arg)),
             "--help" | "-h" => help(),
             e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
             e if is_experiment_name(e) => experiments.push(e.to_string()),
@@ -303,6 +371,13 @@ fn parse_args() -> Options {
         backoff_ms,
         chaos,
         stop_after,
+        addr,
+        data_dir,
+        workers,
+        queue_cap,
+        kind,
+        wait,
+        hash,
     }
 }
 
@@ -761,13 +836,182 @@ fn run_campaign_cmd(options: &Options) -> bool {
     outcome.failed() == 0
 }
 
+/// The daemon address for `submit`/`status`: `--addr` wins, then the
+/// `addr` file a running daemon writes into its data directory, then the
+/// default port.
+fn resolve_addr(options: &Options) -> String {
+    if let Some(addr) = &options.addr {
+        return addr.clone();
+    }
+    let path = PathBuf::from(&options.data_dir).join(gwc_server::ADDR_FILE);
+    if let Ok(contents) = std::fs::read_to_string(&path) {
+        let addr = contents.trim().to_string();
+        if !addr.is_empty() {
+            return addr;
+        }
+    }
+    "127.0.0.1:7341".to_string()
+}
+
+/// Builds the `POST /jobs` body from the CLI flags. Every config field is
+/// sent explicitly so the content hash is decided entirely client-side
+/// visible state, never by server defaults.
+fn submission_body(options: &Options) -> String {
+    use gwc_harness::json::Json;
+    let config = options.run_config();
+    Json::Obj(vec![
+        ("game".into(), Json::Str(options.game.clone())),
+        ("experiment".into(), Json::Str(options.kind.name().into())),
+        ("rung".into(), Json::Str(options.rung.name().into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("api_frames".into(), Json::Num(u64::from(config.api_frames))),
+                ("sim_frames".into(), Json::Num(u64::from(config.sim_frames))),
+                ("width".into(), Json::Num(u64::from(config.width))),
+                ("height".into(), Json::Num(u64::from(config.height))),
+                ("seed".into(), Json::Num(config.seed)),
+            ]),
+        ),
+        ("trace".into(), Json::Bool(options.trace)),
+    ])
+    .to_pretty()
+}
+
+/// `repro serve`: the crash-safe characterization daemon. Blocks until
+/// drained; returns whether the drain was clean.
+fn run_serve(options: &Options) -> bool {
+    let (supervisor, runner) = build_supervisor(options);
+    // The daemon never assembles cross-game tables, but the runner still
+    // collects every successful characterization for `into_study`. Drain
+    // that collection periodically so a daemon that executes jobs for
+    // days keeps bounded memory.
+    let janitor = Arc::clone(&runner);
+    let _ = std::thread::Builder::new().name("gwc-serve-janitor".into()).spawn(move || loop {
+        std::thread::sleep(Duration::from_secs(10));
+        let _ = janitor.into_study(RunConfig::quick());
+    });
+    let cfg = gwc_server::ServeConfig {
+        addr: options.addr.clone().unwrap_or_else(|| "127.0.0.1:7341".into()),
+        data_dir: PathBuf::from(&options.data_dir),
+        workers: options.workers,
+        policy: gwc_server::StatePolicy {
+            queue_capacity: options.queue_cap,
+            breaker_threshold: options.breaker,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    match gwc_server::run(&cfg, supervisor) {
+        Ok(code) => code == 0,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            // The data directory is locked by another live process; that
+            // is a usage error, and the message names the holder.
+            eprintln!("repro: serve: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("repro: serve: {e}");
+            false
+        }
+    }
+}
+
+/// `repro submit`: one job over HTTP; with `--wait`, polls to completion
+/// and exits by the job's outcome.
+fn run_submit(options: &Options) -> bool {
+    use gwc_harness::json::{parse as parse_json, Json};
+    let addr = resolve_addr(options);
+    let body = submission_body(options);
+    let response = match gwc_server::client::exchange(&addr, "POST", "/jobs", Some(&body)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: cannot reach daemon at {addr}: {e}");
+            return false;
+        }
+    };
+    println!("{}", response.text().trim_end());
+    if response.status >= 400 {
+        eprintln!("repro: submission rejected: HTTP {}", response.status);
+        return false;
+    }
+    if !options.wait {
+        return true;
+    }
+    let Some(hash) = parse_json(&response.text())
+        .ok()
+        .and_then(|doc| doc.get("hash").and_then(Json::as_str).map(str::to_owned))
+    else {
+        eprintln!("repro: daemon response carries no job hash");
+        return false;
+    };
+    // Poll under the same deadline policy as a supervised attempt.
+    let deadline = std::time::Instant::now() + Duration::from_millis(options.deadline_ms);
+    loop {
+        std::thread::sleep(Duration::from_millis(150));
+        let poll = match gwc_server::client::exchange(&addr, "GET", &format!("/jobs/{hash}"), None)
+        {
+            Ok(r) => r,
+            // A daemon mid-restart is reachable again shortly; keep
+            // polling until the deadline says otherwise.
+            Err(_) if std::time::Instant::now() < deadline => continue,
+            Err(e) => {
+                eprintln!("repro: lost the daemon at {addr} while waiting: {e}");
+                return false;
+            }
+        };
+        let doc = match parse_json(&poll.text()) {
+            Ok(doc) if poll.status == 200 => doc,
+            _ => {
+                eprintln!("repro: bad status response: HTTP {}", poll.status);
+                return false;
+            }
+        };
+        if doc.get("phase").and_then(Json::as_str) == Some("done") {
+            println!("{}", poll.text().trim_end());
+            let outcome = doc
+                .get("entry")
+                .and_then(|e| e.get("outcome"))
+                .and_then(Json::as_str)
+                .and_then(Outcome::from_name);
+            return outcome.is_some_and(Outcome::is_success);
+        }
+        if std::time::Instant::now() >= deadline {
+            eprintln!("repro: timed out waiting for job {hash}");
+            return false;
+        }
+    }
+}
+
+/// `repro status`: `/stats`, or one job's row with `--hash`.
+fn run_status(options: &Options) -> bool {
+    let addr = resolve_addr(options);
+    let path = match &options.hash {
+        Some(hash) => format!("/jobs/{hash}"),
+        None => "/stats".to_string(),
+    };
+    match gwc_server::client::exchange(&addr, "GET", &path, None) {
+        Ok(response) => {
+            println!("{}", response.text().trim_end());
+            response.status == 200
+        }
+        Err(e) => {
+            eprintln!("repro: cannot reach daemon at {addr}: {e}");
+            false
+        }
+    }
+}
+
 fn main() {
     let options = parse_args();
     let mut all_ok = true;
-    let needs_study = options
-        .experiments
-        .iter()
-        .any(|e| !matches!(e.as_str(), "ablations" | "replay" | "parallel" | "campaign" | "trace"));
+    let needs_study = options.experiments.iter().any(|e| {
+        !matches!(
+            e.as_str(),
+            "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
+                | "status"
+        )
+    });
     let study = if needs_study {
         let (study, ok) = build_study(&options);
         all_ok &= ok;
@@ -782,6 +1026,9 @@ fn main() {
             "parallel" => run_parallel_bench(&options),
             "campaign" => all_ok &= run_campaign_cmd(&options),
             "trace" => all_ok &= run_trace(&options),
+            "serve" => all_ok &= run_serve(&options),
+            "submit" => all_ok &= run_submit(&options),
+            "status" => all_ok &= run_status(&options),
             _ => {
                 let study = study.as_ref().expect("study built for table/figure experiments");
                 if !run_experiment(study, experiment, options.csv) {

@@ -1,0 +1,345 @@
+//! End-to-end robustness contract of `repro serve`.
+//!
+//! These tests drive the real binary over real sockets: boot, readiness,
+//! idempotent submission with content-addressed caching, bounded-queue
+//! load shedding, crash recovery from the write-ahead journal (`kill -9`
+//! mid-job, restart, bit-identical artifacts), graceful drain (no
+//! journaled job lost or double-run), and the data-directory lockfile.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gwc_harness::json::{parse as parse_json, Json};
+use gwc_server::client::{exchange, ClientResponse};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gwc-serve-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the daemon on a free port with small, test-friendly limits.
+fn start_daemon(dir: &Path, extra: &[&str]) -> Child {
+    // A stale addr file from a previous (killed) daemon in the same dir
+    // would race discovery; the daemon rewrites it only after binding.
+    let _ = fs::remove_file(dir.join("addr"));
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+        .arg(dir)
+        .args(["--deadline-ms", "120000"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("repro serve spawns")
+}
+
+/// Polls until the daemon reports ready; returns its bound address.
+fn wait_ready(dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = fs::read_to_string(dir.join("addr")) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                if let Ok(r) = exchange(&addr, "GET", "/readyz", None) {
+                    if r.status == 200 {
+                        return addr;
+                    }
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A tiny but real job (API pass + 2 simulated frames at 96x72).
+fn job_body(game: &str, seed: u64) -> String {
+    format!(
+        r#"{{"game": "{game}", "rung": "quick",
+            "config": {{"seed": {seed}, "api_frames": 20, "sim_frames": 2,
+                        "width": 96, "height": 72}}}}"#
+    )
+}
+
+fn submit(addr: &str, body: &str) -> ClientResponse {
+    exchange(addr, "POST", "/jobs", Some(body)).expect("submission exchange")
+}
+
+fn field<'d>(doc: &'d Json, name: &str) -> &'d Json {
+    doc.get(name).unwrap_or_else(|| panic!("response field {name:?} in {doc:?}"))
+}
+
+/// Polls one job until terminal; returns its final status document.
+fn wait_done(addr: &str, hash: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(r) = exchange(addr, "GET", &format!("/jobs/{hash}"), None) {
+            assert_eq!(r.status, 200, "status body: {}", r.text());
+            let doc = parse_json(&r.text()).expect("status JSON");
+            if field(&doc, "phase").as_str() == Some("done") {
+                return doc;
+            }
+        }
+        assert!(Instant::now() < deadline, "job {hash} never finished");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+fn drain(addr: &str, child: &mut Child) -> i32 {
+    let _ = exchange(addr, "POST", "/shutdown", None);
+    wait_exit(child)
+}
+
+fn wait_exit(child: &mut Child) -> i32 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.code().expect("daemon exits with a code, not a signal");
+        }
+        assert!(Instant::now() < deadline, "daemon never exited");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn submit_executes_and_resubmission_hits_the_cache() {
+    let dir = temp_dir("cache");
+    let mut daemon = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+
+    assert_eq!(exchange(&addr, "GET", "/healthz", None).expect("healthz").status, 200);
+
+    let first = submit(&addr, &job_body("Doom3/trdemo2", 11));
+    assert_eq!(first.status, 202, "fresh submission queues: {}", first.text());
+    let doc = parse_json(&first.text()).expect("submit JSON");
+    let hash = field(&doc, "hash").as_str().expect("hash").to_owned();
+    assert_eq!(hash.len(), 16);
+
+    let done = wait_done(&addr, &hash);
+    let entry = field(&done, "entry");
+    assert_eq!(field(entry, "outcome").as_str(), Some("ok"));
+    let crc = field(entry, "output_crc").as_u64().expect("crc");
+    let artifact =
+        exchange(&addr, "GET", &format!("/jobs/{hash}/artifact"), None).expect("artifact");
+    assert_eq!(artifact.status, 200);
+    assert!(artifact.text().contains("Doom3/trdemo2"), "artifact is the characterization report");
+
+    // Same spec again: an instant cache hit with the same artifact CRC,
+    // and no second execution (starts stays 1).
+    let second = submit(&addr, &job_body("Doom3/trdemo2", 11));
+    assert_eq!(second.status, 200, "cache hit: {}", second.text());
+    assert_eq!(second.header("x-gwc-cache"), Some("hit"));
+    let doc = parse_json(&second.text()).expect("cache JSON");
+    assert_eq!(field(&doc, "cached"), &Json::Bool(true));
+    assert_eq!(field(field(&doc, "entry"), "output_crc").as_u64(), Some(crc));
+    let status = exchange(&addr, "GET", &format!("/jobs/{hash}"), None).expect("status");
+    let doc = parse_json(&status.text()).expect("status JSON");
+    assert_eq!(field(&doc, "starts").as_u64(), Some(1), "cache hit must not re-run");
+
+    // A different seed is a different content hash.
+    let other = submit(&addr, &job_body("Doom3/trdemo2", 12));
+    assert_eq!(other.status, 202);
+    let other_doc = parse_json(&other.text()).expect("submit JSON");
+    assert_ne!(field(&other_doc, "hash").as_str(), Some(hash.as_str()));
+
+    assert_eq!(drain(&addr, &mut daemon), 0, "clean drain exits 0");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bounded_queue_sheds_with_retry_after() {
+    let dir = temp_dir("shed");
+    // Admission-only daemon: nothing executes, so the queue fills
+    // deterministically.
+    let mut daemon = start_daemon(&dir, &["--workers", "0", "--queue-cap", "2"]);
+    let addr = wait_ready(&dir);
+
+    for seed in [1, 2] {
+        assert_eq!(submit(&addr, &job_body("Quake4/demo4", seed)).status, 202);
+    }
+    let shed = submit(&addr, &job_body("Quake4/demo4", 3));
+    assert_eq!(shed.status, 429, "overflow must shed: {}", shed.text());
+    let retry: u64 = shed.header("retry-after").expect("Retry-After").parse().expect("seconds");
+    assert!(retry >= 1);
+    // Idempotent resubmission of a queued job is a no-op, not a shed.
+    let dup = submit(&addr, &job_body("Quake4/demo4", 1));
+    assert_eq!(dup.status, 202, "duplicate is AlreadyPending: {}", dup.text());
+    assert!(dup.text().contains("queued"));
+
+    // Malformed submissions are 400s and eventually open the client
+    // breaker (threshold 8), which answers 429 without parsing.
+    for _ in 0..8 {
+        assert_eq!(submit(&addr, "{\"game\": \"NoSuch/demo\"}").status, 400);
+    }
+    let banned = submit(&addr, &job_body("Quake4/demo4", 1));
+    assert_eq!(banned.status, 429, "client breaker: {}", banned.text());
+    assert!(banned.text().contains("breaker"));
+
+    assert_eq!(drain(&addr, &mut daemon), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_dash_nine_recovers_to_bit_identical_artifacts() {
+    // Reference: the same job in an uninterrupted daemon.
+    let reference_dir = temp_dir("killref");
+    let mut reference = start_daemon(&reference_dir, &["--workers", "1"]);
+    let addr = wait_ready(&reference_dir);
+    let body = job_body("UT2004/Primeval", 77);
+    let r = submit(&addr, &body);
+    assert_eq!(r.status, 202);
+    let hash = field(&parse_json(&r.text()).expect("json"), "hash")
+        .as_str()
+        .expect("hash")
+        .to_owned();
+    wait_done(&addr, &hash);
+    assert_eq!(drain(&addr, &mut reference), 0);
+    let artifact_name = format!("art-{hash}.out");
+    let reference_bytes = fs::read(reference_dir.join(&artifact_name)).expect("reference artifact");
+
+    // Victim: same submission, then SIGKILL while the job is live. The
+    // submission is acknowledged only after its WAL record is fsynced,
+    // so even an immediate kill must not lose it.
+    let victim_dir = temp_dir("killvictim");
+    let mut victim = start_daemon(&victim_dir, &["--workers", "1"]);
+    let addr = wait_ready(&victim_dir);
+    assert_eq!(submit(&addr, &body).status, 202);
+    victim.kill().expect("SIGKILL");
+    victim.wait().expect("reap");
+
+    // Restart on the same data dir: the journal re-admits the job and
+    // the deterministic re-run converges to the reference bytes.
+    let mut revived = start_daemon(&victim_dir, &["--workers", "1"]);
+    let addr = wait_ready(&victim_dir);
+    let done = wait_done(&addr, &hash);
+    assert_eq!(field(field(&done, "entry"), "outcome").as_str(), Some("ok"));
+    let recovered_bytes = fs::read(victim_dir.join(&artifact_name)).expect("recovered artifact");
+    assert_eq!(
+        recovered_bytes, reference_bytes,
+        "recovered artifact must be bit-identical to an uninterrupted run"
+    );
+
+    // And the recovered result is itself now a cache hit.
+    let hit = submit(&addr, &body);
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("x-gwc-cache"), Some("hit"));
+
+    assert_eq!(drain(&addr, &mut revived), 0);
+    let _ = fs::remove_dir_all(&reference_dir);
+    let _ = fs::remove_dir_all(&victim_dir);
+}
+
+#[test]
+fn drain_loses_nothing_and_double_runs_nothing() {
+    let dir = temp_dir("drain");
+    let mut daemon = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+
+    // Three jobs, then an immediate drain: whatever is unfinished must
+    // stay journaled, whatever finished must stay finished.
+    let mut hashes = Vec::new();
+    for seed in [5, 6, 7] {
+        let r = submit(&addr, &job_body("Doom3/trdemo2", seed));
+        assert_eq!(r.status, 202);
+        hashes
+            .push(field(&parse_json(&r.text()).expect("json"), "hash").as_str().unwrap().to_owned());
+    }
+    // SIGTERM is the other half of the drain contract (same path as
+    // POST /shutdown); exercise it here.
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(term.success());
+    assert_eq!(wait_exit(&mut daemon), 0, "SIGTERM drain exits 0");
+
+    // Second life: every job reaches done with exactly one execution —
+    // none lost at the drain, none run twice.
+    let mut daemon = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+    for hash in &hashes {
+        let done = wait_done(&addr, hash);
+        assert_eq!(field(field(&done, "entry"), "outcome").as_str(), Some("ok"));
+        assert_eq!(
+            field(&done, "starts").as_u64(),
+            Some(1),
+            "job {hash} must run exactly once across the drain"
+        );
+    }
+    assert_eq!(drain(&addr, &mut daemon), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn data_dir_lock_names_the_holder() {
+    let dir = temp_dir("lock");
+    let mut daemon = start_daemon(&dir, &["--workers", "0"]);
+    let addr = wait_ready(&dir);
+
+    // A second daemon on the same data dir is a usage error (exit 2)
+    // that names the live holder.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .expect("second serve runs");
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lock"), "stderr names the lock: {err}");
+    assert!(err.contains(&daemon.id().to_string()), "stderr names the holder pid: {err}");
+
+    // `repro campaign` shares the same lock discipline.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["campaign", "--dir"])
+        .arg(&dir)
+        .args(["--api-frames", "2", "--sim-frames", "0", "--res", "48x36"])
+        .output()
+        .expect("campaign runs");
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lock"));
+
+    assert_eq!(drain(&addr, &mut daemon), 0);
+    // After a clean exit the lock is released: a fresh daemon starts.
+    let mut daemon = start_daemon(&dir, &["--workers", "0"]);
+    let addr = wait_ready(&dir);
+    assert_eq!(drain(&addr, &mut daemon), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn submit_cli_waits_and_exits_by_outcome() {
+    let dir = temp_dir("cli");
+    let mut daemon = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+
+    // The CLI resolves the daemon address from the data dir's addr file.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["submit", "--data-dir"])
+        .arg(&dir)
+        .args(["--game", "doom3", "--quick", "--wait"])
+        .args(["--api-frames", "20", "--sim-frames", "2", "--res", "96x72"])
+        .output()
+        .expect("repro submit runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"phase\": \"done\""), "final status printed: {stdout}");
+
+    let stats = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["status", "--addr", &addr])
+        .output()
+        .expect("repro status runs");
+    assert_eq!(stats.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("\"done\": 1"), "stats counts the finished job: {text}");
+
+    assert_eq!(drain(&addr, &mut daemon), 0);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -39,6 +39,18 @@ impl RunConfig {
     pub fn quick() -> Self {
         RunConfig { api_frames: 60, sim_frames: 3, width: 320, height: 240, seed: 0x5EED }
     }
+
+    /// Canonical, order-stable key of every field, for content
+    /// addressing: two configs with equal keys produce bit-identical
+    /// runs of the same workload. The format is part of the `gwc-serve`
+    /// cache identity — changing it invalidates every cached result, so
+    /// extend it only by appending fields.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "api={};sim={};w={};h={};seed={:#x}",
+            self.api_frames, self.sim_frames, self.width, self.height, self.seed
+        )
+    }
 }
 
 impl Default for RunConfig {

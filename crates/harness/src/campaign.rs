@@ -87,7 +87,10 @@ impl ManifestEntry {
             && self.config == job.config
     }
 
-    fn to_json(&self) -> Json {
+    /// Serializes the entry as a manifest/journal JSON object. Public
+    /// because the `gwc-serve` write-ahead journal records completed jobs
+    /// in exactly this shape (one schema, one replayer).
+    pub fn to_json(&self) -> Json {
         let opt_str = |s: &Option<String>| match s {
             Some(s) => Json::Str(s.clone()),
             None => Json::Null,
@@ -126,7 +129,10 @@ impl ManifestEntry {
         ])
     }
 
-    fn from_json(v: &Json) -> Option<ManifestEntry> {
+    /// Parses an entry back out of [`ManifestEntry::to_json`] output;
+    /// `None` for any structural mismatch (the caller decides whether
+    /// that is corruption or a version skew).
+    pub fn from_json(v: &Json) -> Option<ManifestEntry> {
         let strings = |key: &str| -> Option<Vec<String>> {
             v.get(key)?
                 .as_arr()?
@@ -324,13 +330,27 @@ pub fn read_artifact(dir: &Path, entry: &ManifestEntry) -> io::Result<String> {
         .map_err(|_| io_invalid(format!("{}: artifact is not UTF-8", path.display())))
 }
 
-fn entry_from_report(dir: &Path, report: &JobReport) -> io::Result<ManifestEntry> {
+/// Persists a report's artifact into `dir` and converts the report into
+/// its durable manifest/journal row. Public for the same reason as
+/// [`ManifestEntry::to_json`]: the daemon journals completed jobs
+/// through this exact path.
+pub fn entry_from_report(dir: &Path, report: &JobReport) -> io::Result<ManifestEntry> {
+    entry_from_report_named(dir, report, &artifact_name(report.job.id))
+}
+
+/// [`entry_from_report`] with a caller-chosen artifact file name — the
+/// daemon names artifacts by content hash (`art-<hash>.out`) instead of
+/// by job id, so cached results survive id reassignment across restarts.
+pub fn entry_from_report_named(
+    dir: &Path,
+    report: &JobReport,
+    artifact: &str,
+) -> io::Result<ManifestEntry> {
     let (output, output_crc, checkpoint, trace) = match &report.product {
         Some(product) => {
-            let name = artifact_name(report.job.id);
-            fs::write(dir.join(&name), product.text.as_bytes())?;
+            fs::write(dir.join(artifact), product.text.as_bytes())?;
             (
-                Some(name),
+                Some(artifact.to_owned()),
                 crc32(product.text.as_bytes()),
                 product.checkpoint.clone(),
                 product.trace.clone(),
@@ -381,6 +401,11 @@ pub fn run_campaign(
     opts: &CampaignOptions,
 ) -> io::Result<CampaignOutcome> {
     fs::create_dir_all(&opts.dir)?;
+    // One owner per directory: a campaign and a daemon (or two
+    // campaigns) sharing a manifest would corrupt each other's renames.
+    // The claim lives for the whole run and is released on return.
+    let _lock = crate::lock::DirLock::acquire(&opts.dir, "campaign")
+        .map_err(|e| io::Error::new(io::ErrorKind::WouldBlock, e.to_string()))?;
     let seed = supervisor.config().seed;
     let prior: Vec<ManifestEntry> = if opts.resume {
         load_manifest(&opts.dir, seed)?

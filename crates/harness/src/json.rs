@@ -333,7 +333,14 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                // The WAL replayer folds objects by key; a duplicate key
+                // would make "which value wins" an accident of iteration
+                // order, so it is a parse error, not a shadowing rule.
+                return Err(JsonError { message: "duplicate object key", offset: key_offset });
+            }
             self.skip_ws();
             self.eat(b':', "expected ':'")?;
             self.skip_ws();
@@ -397,6 +404,15 @@ mod tests {
         assert!(parse("\"unterminated").is_err());
         assert!(parse("[1] trailing").is_err());
         assert!(parse("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse("{\"a\": 1, \"a\": 2}").expect_err("duplicate key must fail");
+        assert_eq!(err.message, "duplicate object key");
+        // The duplicate must be per object level: the same key in a
+        // *nested* object is legitimate.
+        assert!(parse("{\"a\": {\"a\": 1}}").is_ok());
     }
 
     #[test]

@@ -62,13 +62,16 @@ mod campaign;
 mod chaos;
 mod job;
 pub mod json;
+pub mod lock;
 mod supervisor;
 
 pub use campaign::{
-    crc32, load_manifest, read_artifact, run_campaign, write_manifest, CampaignOptions,
-    CampaignOutcome, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION, REPORT_FILE,
+    crc32, entry_from_report, entry_from_report_named, load_manifest, read_artifact, run_campaign,
+    write_manifest,
+    CampaignOptions, CampaignOutcome, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION, REPORT_FILE,
 };
 pub use chaos::{ChaosBehavior, ChaosRunner};
+pub use lock::{DirLock, LockError, LOCK_FILE};
 pub use job::{
     AttemptRecord, AttemptResult, Experiment, Job, JobError, JobProduct, JobReport, Outcome, Rung,
 };

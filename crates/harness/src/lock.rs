@@ -1,0 +1,273 @@
+//! Single-owner locking for durable state directories.
+//!
+//! A campaign directory and a `gwc-serve` data directory both hold
+//! manifests/journals that are rewritten in place; two processes sharing
+//! one directory would interleave atomic renames and corrupt each
+//! other's view. [`DirLock`] makes ownership explicit: a `LOCK` file
+//! carrying the holder's pid, role, and start time, created with
+//! `create_new` so acquisition is atomic, removed on drop.
+//!
+//! Crash safety: a process killed with SIGKILL leaves its `LOCK` behind.
+//! Acquisition therefore probes the recorded pid (`/proc/<pid>` on
+//! Linux); a lock whose holder is gone is *stale* and is silently
+//! replaced. A lock whose holder is alive produces a typed
+//! [`LockError::Held`] naming the holder, so the operator sees *who* has
+//! the directory rather than a bare "permission denied".
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{self, Json};
+
+/// Lock file name inside a locked directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Why a directory lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// Pid recorded in the lock file.
+        pid: u32,
+        /// Role the holder declared (`"serve"`, `"campaign"`).
+        role: String,
+        /// Unix seconds when the holder started.
+        since_unix_secs: u64,
+        /// The lock file path, for the error message.
+        path: PathBuf,
+    },
+    /// Filesystem failure while probing or creating the lock.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { pid, role, since_unix_secs, path } => write!(
+                f,
+                "{} is held by live {role} process pid {pid} (since unix time {since_unix_secs}); \
+                 stop it or use a different directory",
+                path.display()
+            ),
+            LockError::Io(e) => write!(f, "lock I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> Self {
+        LockError::Io(e)
+    }
+}
+
+/// Whether a pid names a process that is still alive. On Linux this is a
+/// `/proc` probe; elsewhere we cannot tell, so a recorded pid is
+/// conservatively treated as alive (a false "held" beats corruption).
+///
+/// A zombie still has a `/proc` entry but has released every file
+/// handle — it cannot be writing the journal — so it counts as dead:
+/// a SIGKILLed daemon whose parent has not reaped it yet must not block
+/// recovery on its own data dir. The state letter is the first token
+/// after the comm field in `/proc/<pid>/stat`; comm may itself contain
+/// parentheses and spaces, so split at the *last* `)`.
+fn pid_alive(pid: u32) -> bool {
+    if !cfg!(target_os = "linux") {
+        return true;
+    }
+    match fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => {
+            let state = stat.rsplit(')').next().unwrap_or("").trim().chars().next();
+            !matches!(state, Some('Z' | 'X' | 'x'))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+        // Unreadable for another reason (permissions): assume alive.
+        Err(_) => true,
+    }
+}
+
+/// An exclusive claim on a state directory, released on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Claims `dir` for this process under `role`. Creates the directory
+    /// if needed. A stale lock (holder no longer alive) is replaced; a
+    /// live lock yields [`LockError::Held`].
+    pub fn acquire(dir: &Path, role: &str) -> Result<DirLock, LockError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOCK_FILE);
+        let start = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+        let body = Json::Obj(vec![
+            ("pid".into(), Json::Num(u64::from(std::process::id()))),
+            ("role".into(), Json::Str(role.to_owned())),
+            ("start_unix_secs".into(), Json::Num(start)),
+        ])
+        .to_pretty();
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    file.write_all(body.as_bytes())?;
+                    file.sync_all()?;
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    match read_holder(&path) {
+                        Some((pid, role, since)) if pid_alive(pid) && pid != std::process::id() => {
+                            return Err(LockError::Held {
+                                pid,
+                                role,
+                                since_unix_secs: since,
+                                path,
+                            });
+                        }
+                        // Stale (dead holder), unreadable, or our own pid
+                        // from a previous incarnation: reclaim and retry.
+                        _ => match fs::remove_file(&path) {
+                            Ok(()) => {}
+                            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                            Err(e) => return Err(e.into()),
+                        },
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The lock file this claim owns.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Parses `(pid, role, start)` out of a lock file; `None` for unreadable
+/// or malformed content (treated as stale).
+fn read_holder(path: &Path) -> Option<(u32, String, u64)> {
+    let text = fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    let pid = u32::try_from(doc.get("pid")?.as_u64()?).ok()?;
+    let role = doc.get("role")?.as_str()?.to_owned();
+    let since = doc.get("start_unix_secs")?.as_u64()?;
+    Some((pid, role, since))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gwc-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_acquire_in_same_process_reclaims_own_lock() {
+        // Same pid: a lock left by a previous incarnation of *this*
+        // process (pid reuse across exec) must not deadlock us forever.
+        let dir = temp_dir("self");
+        let a = DirLock::acquire(&dir, "campaign").expect("first acquire");
+        drop(a);
+        let b = DirLock::acquire(&dir, "serve").expect("reacquire after drop");
+        drop(b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_replaced() {
+        let dir = temp_dir("stale");
+        fs::create_dir_all(&dir).expect("mkdir");
+        // Pid 4_000_000 exceeds the default pid_max; nothing alive has it.
+        fs::write(
+            dir.join(LOCK_FILE),
+            "{\"pid\": 4000000, \"role\": \"campaign\", \"start_unix_secs\": 1}",
+        )
+        .expect("plant stale lock");
+        let lock = DirLock::acquire(&dir, "serve").expect("stale lock must be reclaimed");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_lock_names_the_holder() {
+        let dir = temp_dir("live");
+        fs::create_dir_all(&dir).expect("mkdir");
+        // Pid 1 is always alive on Linux and is never us.
+        fs::write(
+            dir.join(LOCK_FILE),
+            "{\"pid\": 1, \"role\": \"campaign\", \"start_unix_secs\": 99}",
+        )
+        .expect("plant live lock");
+        match DirLock::acquire(&dir, "serve") {
+            Err(LockError::Held { pid, role, .. }) => {
+                assert_eq!(pid, 1);
+                assert_eq!(role, "campaign");
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn zombie_holder_is_stale() {
+        // A SIGKILLed daemon whose parent has not reaped it yet is a
+        // zombie: `/proc/<pid>` still exists, but every file handle is
+        // gone. It must not hold its own data dir hostage.
+        let mut child = std::process::Command::new("/proc/self/exe")
+            .arg("--help")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn short-lived child");
+        let pid = child.id();
+        // Wait for it to die without reaping it (no `child.wait()`), so
+        // it stays a zombie for the duration of this test.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let stat = fs::read_to_string(format!("/proc/{pid}/stat")).expect("child stat");
+            let state = stat.rsplit(')').next().unwrap_or("").trim().chars().next();
+            if state == Some('Z') {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "child never became a zombie");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(!pid_alive(pid), "a zombie cannot hold a lock");
+
+        let dir = temp_dir("zombie");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(
+            dir.join(LOCK_FILE),
+            format!("{{\"pid\": {pid}, \"role\": \"serve\", \"start_unix_secs\": 1}}"),
+        )
+        .expect("plant zombie lock");
+        let lock = DirLock::acquire(&dir, "serve").expect("zombie lock must be reclaimed");
+        drop(lock);
+        let _ = child.wait();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_lock_content_is_stale() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(LOCK_FILE), "not json at all").expect("plant garbage");
+        let lock = DirLock::acquire(&dir, "serve").expect("garbage lock must be reclaimed");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

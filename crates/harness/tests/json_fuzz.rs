@@ -1,0 +1,143 @@
+//! Fuzz-style property tests for the manifest/journal JSON codec.
+//!
+//! The `gwc-serve` WAL replayer feeds every journal record through
+//! `gwc_harness::json::parse` *before* trusting it, so the parser is a
+//! crash-recovery load-bearing wall: any input — truncated by a torn
+//! write, bit-flipped past the CRC, adversarially nested — must come
+//! back as a typed [`JsonError`], never a panic or an overflow.
+
+use gwc_harness::json::{parse, Json};
+use proptest::prelude::*;
+
+/// A generator for arbitrary documents of the manifest subset, bounded
+/// in depth and width so cases stay cheap.
+fn arbitrary_json(rng_bits: &[u64], depth: usize) -> (Json, usize) {
+    // Consume the pre-drawn entropy stream positionally; recursion
+    // narrows on depth so generation always terminates.
+    fn build(bits: &[u64], cursor: &mut usize, depth: usize) -> Json {
+        let mut draw = |bound: u64| {
+            let v = bits.get(*cursor).copied().unwrap_or(7);
+            *cursor += 1;
+            v % bound
+        };
+        let kind = if depth == 0 { draw(4) } else { draw(6) };
+        match kind {
+            0 => Json::Null,
+            1 => Json::Bool(draw(2) == 1),
+            2 => Json::Num(draw(u64::MAX)),
+            3 => {
+                let len = draw(8) as usize;
+                let s: String = (0..len)
+                    .map(|_| {
+                        // A hostile mix: quotes, escapes, controls,
+                        // multi-byte UTF-8.
+                        const ALPHABET: &[char] =
+                            &['a', '"', '\\', '\n', '\t', '\u{1}', 'é', '𝕊', '/', ' '];
+                        ALPHABET[draw(ALPHABET.len() as u64) as usize]
+                    })
+                    .collect();
+                Json::Str(s)
+            }
+            4 => {
+                let len = draw(4) as usize;
+                Json::Arr((0..len).map(|_| build(bits, cursor, depth - 1)).collect())
+            }
+            _ => {
+                let len = draw(4) as usize;
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), build(bits, cursor, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+    let mut cursor = 0;
+    let doc = build(rng_bits, &mut cursor, depth);
+    (doc, cursor)
+}
+
+proptest! {
+    /// Totally random bytes: the parser classifies or rejects, it never
+    /// panics — and rejection always carries an in-bounds offset.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse(&text) {
+            prop_assert!(e.offset <= text.len(), "error offset out of bounds");
+        }
+    }
+
+    /// Random *printable JSON-ish* soup — braces, quotes, digits,
+    /// escapes — which reaches much deeper into the parser than raw
+    /// bytes do.
+    #[test]
+    fn structural_soup_never_panics(picks in prop::collection::vec(0usize..16, 0..128)) {
+        const PIECES: &[&str] = &[
+            "{", "}", "[", "]", "\"", ":", ",", "null", "true", "1",
+            "\\u12", "\\", "9999999999999999999999", " ", "\"a\":", "é",
+        ];
+        let text: String = picks.iter().map(|&i| PIECES[i]).collect();
+        let _ = parse(&text);
+    }
+
+    /// Every arbitrary document round-trips bit-exactly through the
+    /// writer and the parser.
+    #[test]
+    fn arbitrary_documents_round_trip(bits in prop::collection::vec(any::<u64>(), 1..64)) {
+        let (doc, _) = arbitrary_json(&bits, 3);
+        let text = doc.to_pretty();
+        let parsed = parse(&text);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&doc), "round trip failed for {}", text);
+        // Byte-stability (resume and recovery both depend on it).
+        prop_assert_eq!(parsed.expect("parsed").to_pretty(), text);
+    }
+
+    /// Every truncation of a valid document — the torn-write shape a
+    /// crashed daemon actually produces — errors cleanly or (for
+    /// whitespace-only tails) parses; it never panics.
+    #[test]
+    fn truncations_of_valid_documents_never_panic(
+        bits in prop::collection::vec(any::<u64>(), 1..48),
+        cut_seed in any::<u64>(),
+    ) {
+        let (doc, _) = arbitrary_json(&bits, 3);
+        let text = doc.to_pretty();
+        let cut = (cut_seed as usize) % (text.len() + 1);
+        // Truncate on a char boundary (a torn write can split a UTF-8
+        // sequence too, but `parse` takes &str so the lossy path above
+        // already covers invalid UTF-8).
+        let mut cut = cut;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if let Err(e) = parse(&text[..cut]) {
+            prop_assert!(e.offset <= cut);
+        }
+    }
+
+    /// Duplicate keys are rejected wherever they appear, at any depth.
+    #[test]
+    fn duplicate_keys_rejected_at_any_depth(depth in 0usize..8) {
+        let mut doc = "{\"x\": 1, \"x\": 2}".to_owned();
+        for _ in 0..depth {
+            doc = format!("{{\"wrap\": {doc}}}");
+        }
+        let err = parse(&doc).expect_err("duplicate key must be rejected");
+        prop_assert_eq!(err.message, "duplicate object key");
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_not_overflowed() {
+    for open in ["[", "{\"k\":"] {
+        let deep = open.repeat(10_000);
+        assert!(parse(&deep).is_err(), "unclosed deep nesting must error");
+    }
+    // Exactly at and just past the depth limit.
+    let at_limit = "[".repeat(32) + "1" + &"]".repeat(32);
+    assert!(parse(&at_limit).is_ok(), "depth 32 is within the guard");
+    let past_limit = "[".repeat(34) + "1" + &"]".repeat(34);
+    assert!(past_limit.len() < 100);
+    assert!(parse(&past_limit).is_err(), "depth 34 must trip the guard");
+}

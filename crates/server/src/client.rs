@@ -1,0 +1,110 @@
+//! A one-shot HTTP/1.1 client matching the daemon's `Connection: close`
+//! discipline: connect, write one request, read to EOF, parse.
+//!
+//! Used by `repro submit` / `repro status` and by the integration tests;
+//! small enough that pulling in a real client library would cost more
+//! than it saves even if the registry were reachable.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long the client waits for connect/read/write before giving up.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (everything after the blank line, to EOF).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — bodies are ours and always UTF-8).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Performs one exchange against `addr` (e.g. `127.0.0.1:7341`).
+pub fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Parses a full `Connection: close` response capture.
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, detail.to_owned());
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("response head not UTF-8"))?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.split_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(bad("not an HTTP/1.x status line")),
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("unparseable status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    Ok(ClientResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_close_delimited_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nContent-Type: text/plain\r\n\r\nqueue full";
+        let r = parse_response(raw).expect("parse");
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("retry-after"), Some("3"));
+        assert_eq!(r.text(), "queue full");
+    }
+
+    #[test]
+    fn rejects_non_http_garbage() {
+        assert!(parse_response(b"ceci n'est pas HTTP\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 two-hundred OK\r\n\r\n").is_err());
+        assert!(parse_response(b"no separator at all").is_err());
+    }
+}

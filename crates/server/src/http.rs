@@ -1,0 +1,263 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The build environment has no registry access, so there is no hyper,
+//! no tokio — and the daemon's API does not need them: every exchange is
+//! one request, one response, `Connection: close`. The parser enforces
+//! hard limits (header block, body size) so a malformed or hostile peer
+//! costs a bounded amount of memory and one connection slot, never the
+//! daemon.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Ceiling on the request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Ceiling on a request body (a job submission is < 1 KB).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Per-connection socket timeout: a peer that stalls longer than this
+/// mid-request forfeits the exchange.
+pub const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path only (any `?query` is split off and discarded).
+    pub path: String,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps directly onto a 4xx.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Head or body exceeded its hard limit.
+    TooLarge(&'static str),
+    /// The peer closed or stalled mid-request.
+    Io,
+}
+
+impl ParseError {
+    /// The response status this error earns.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::TooLarge(_) => 413,
+            ParseError::Io => 408,
+        }
+    }
+
+    /// Human-readable detail for the response body.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            ParseError::Malformed(d) | ParseError::TooLarge(d) => d,
+            ParseError::Io => "connection closed or stalled mid-request",
+        }
+    }
+}
+
+/// Reads one request off `stream` (which should already carry read
+/// timeouts).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    // Accumulate until the blank line, byte-capped.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ParseError::Io),
+            Ok(_) => head.push(byte[0]),
+            Err(_) => return Err(ParseError::Io),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head exceeds 16 KiB"));
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| ParseError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::Malformed("missing method"))?.to_owned();
+    let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ParseError::Malformed("expected HTTP/1.x")),
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    if !path.starts_with('/') {
+        return Err(ParseError::Malformed("request target must be an absolute path"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or(ParseError::Malformed("header without ':'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| ParseError::Malformed("bad content-length"))?
+        }
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("body exceeds 64 KiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        stream.read_exact(&mut body).map_err(|_| ParseError::Io)?;
+    }
+    Ok(Request { method, path, headers, body })
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response { status, headers: Vec::new(), body: body.into().into_bytes() }
+    }
+
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        let mut r = Response::text(status, body);
+        r.headers.push(("Content-Type".into(), "application/json".into()));
+        r
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes and writes the response; errors are swallowed (the
+    /// peer may already be gone, and there is nobody left to tell).
+    pub fn send(&self, stream: &mut TcpStream) {
+        let reason = reason(self.status);
+        let mut head = format!("HTTP/1.1 {} {reason}\r\n", self.status);
+        let mut has_type = false;
+        for (name, value) in &self.headers {
+            has_type |= name.eq_ignore_ascii_case("content-type");
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if !has_type {
+            head.push_str("Content-Type: text/plain; charset=utf-8\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len()));
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(&self.body);
+        let _ = stream.flush();
+    }
+}
+
+/// Reason phrases for the statuses the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket into `read_request`.
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let bytes = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&bytes).expect("write");
+            // Keep the socket open briefly so reads see the data, then
+            // close (EOF) so incomplete requests fail rather than hang.
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let result = read_request(&mut stream);
+        writer.join().expect("writer");
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_bytes(
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn strips_query_and_requires_absolute_path() {
+        let req = parse_bytes(b"GET /jobs/abc?verbose=1 HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(req.path, "/jobs/abc");
+        let err = parse_bytes(b"GET jobs HTTP/1.1\r\n\r\n").expect_err("relative path");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let err = parse_bytes(b"GET / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n")
+            .expect_err("huge body");
+        assert_eq!(err.status(), 413);
+        let err = parse_bytes(b"NOT-HTTP\r\n\r\n").expect_err("bad request line");
+        assert_eq!(err.status(), 400);
+        let err = parse_bytes(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+            .expect_err("bad length");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn truncated_request_times_out_cleanly() {
+        // Body shorter than Content-Length: read_exact hits EOF.
+        let err = parse_bytes(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .expect_err("truncated body");
+        assert_eq!(err, ParseError::Io);
+    }
+}

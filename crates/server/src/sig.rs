@@ -1,0 +1,80 @@
+//! SIGTERM/SIGINT observation without a libc dependency.
+//!
+//! The workspace vendors no crates, so there is no `libc` or `signal-hook`
+//! to lean on. This module declares the C `signal(2)` entry point directly
+//! and installs a handler that does the only thing an async-signal-safe
+//! handler may do here: flip an [`AtomicBool`]. The accept loop runs
+//! nonblocking and polls the flag, so a `SIGTERM` begins a graceful drain
+//! within one poll interval even though glibc's `signal()` semantics
+//! restart blocking syscalls.
+//!
+//! Every other crate in the workspace forbids `unsafe`; the two calls
+//! below are the entire unsafe surface of the daemon, confined to this
+//! module.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; the server polls it to begin draining.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain handler for `SIGTERM` and `SIGINT`.
+#[cfg(unix)]
+pub fn install() {
+    extern "C" {
+        // `sighandler_t signal(int, sighandler_t)` — both handler types
+        // are C function pointers; the return value (the previous
+        // handler) is pointer-sized and unused here.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    #[allow(unsafe_code)]
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No-op off Unix: only `/shutdown` drains there.
+#[cfg(not(unix))]
+pub fn install() {}
+
+/// Whether a drain signal has arrived (or [`request`] was called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a drain from process context (`POST /shutdown` funnels
+/// through the same flag as `SIGTERM`, so there is one drain path).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. The flag is process-global, so in-process tests that
+/// exercise drain must reset it; the daemon itself never does (a second
+/// `SIGTERM` during drain should stay a drain, not restart admission).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag_install_is_safe_to_repeat() {
+        install();
+        install();
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}
