@@ -51,7 +51,8 @@ experiments:
                        CRC-guarded write-ahead log in --data-dir before it
                        takes effect (kill -9 recovers on restart), results
                        are cached by content hash, overload is shed with
-                       429 + Retry-After, and SIGTERM or POST /shutdown
+                       429 + Retry-After, and SIGTERM or a loopback-only
+                       POST /shutdown
                        drains gracefully to exit 0
   submit               submit one job to a running daemon and print the
                        response (see --addr, --game, --kind, --wait)

@@ -3,19 +3,28 @@
 //! A campaign directory and a `gwc-serve` data directory both hold
 //! manifests/journals that are rewritten in place; two processes sharing
 //! one directory would interleave atomic renames and corrupt each
-//! other's view. [`DirLock`] makes ownership explicit: a `LOCK` file
-//! carrying the holder's pid, role, and start time, created with
-//! `create_new` so acquisition is atomic, removed on drop.
+//! other's view. [`DirLock`] makes ownership explicit: an OS advisory
+//! lock ([`File::try_lock`], `flock(2)` on Linux) held on a `LOCK` file
+//! whose contents record the holder's pid, role, and start time for
+//! error messages.
 //!
-//! Crash safety: a process killed with SIGKILL leaves its `LOCK` behind.
-//! Acquisition therefore probes the recorded pid (`/proc/<pid>` on
-//! Linux); a lock whose holder is gone is *stale* and is silently
-//! replaced. A lock whose holder is alive produces a typed
-//! [`LockError::Held`] naming the holder, so the operator sees *who* has
-//! the directory rather than a bare "permission denied".
+//! Crash safety comes from the kernel owning the lock's lifetime: a
+//! process killed with SIGKILL — or reduced to a zombie — has its
+//! descriptors closed the instant it can no longer write, and the lock
+//! is released with them. There is no staleness heuristic to race on.
+//! (An earlier design probed the recorded pid and *deleted* locks it
+//! judged stale; two recovering processes could both judge the same lock
+//! stale, and one would delete the lock the other had just created —
+//! mutual exclusion failed in exactly the crash-recovery scenario the
+//! lock exists for. Contenders now never remove or replace the lock
+//! file; they only try to lock it.)
+//!
+//! A lock whose holder is alive produces a typed [`LockError::Held`]
+//! naming the holder, so the operator sees *who* has the directory
+//! rather than a bare "resource unavailable".
 
-use std::fs;
-use std::io;
+use std::fs::{self, File, TryLockError};
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -29,7 +38,7 @@ pub const LOCK_FILE: &str = "LOCK";
 pub enum LockError {
     /// Another live process holds the lock.
     Held {
-        /// Pid recorded in the lock file.
+        /// Pid recorded in the lock file (0 when unreadable).
         pid: u32,
         /// Role the holder declared (`"serve"`, `"campaign"`).
         role: String,
@@ -38,7 +47,7 @@ pub enum LockError {
         /// The lock file path, for the error message.
         path: PathBuf,
     },
-    /// Filesystem failure while probing or creating the lock.
+    /// Filesystem failure while opening or locking the lock file.
     Io(io::Error),
 }
 
@@ -64,44 +73,45 @@ impl From<io::Error> for LockError {
     }
 }
 
-/// Whether a pid names a process that is still alive. On Linux this is a
-/// `/proc` probe; elsewhere we cannot tell, so a recorded pid is
-/// conservatively treated as alive (a false "held" beats corruption).
-///
-/// A zombie still has a `/proc` entry but has released every file
-/// handle — it cannot be writing the journal — so it counts as dead:
-/// a SIGKILLed daemon whose parent has not reaped it yet must not block
-/// recovery on its own data dir. The state letter is the first token
-/// after the comm field in `/proc/<pid>/stat`; comm may itself contain
-/// parentheses and spaces, so split at the *last* `)`.
-fn pid_alive(pid: u32) -> bool {
-    if !cfg!(target_os = "linux") {
-        return true;
-    }
-    match fs::read_to_string(format!("/proc/{pid}/stat")) {
-        Ok(stat) => {
-            let state = stat.rsplit(')').next().unwrap_or("").trim().chars().next();
-            !matches!(state, Some('Z' | 'X' | 'x'))
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => false,
-        // Unreadable for another reason (permissions): assume alive.
-        Err(_) => true,
-    }
-}
-
-/// An exclusive claim on a state directory, released on drop.
+/// An exclusive claim on a state directory, released when dropped (or
+/// when the holding process dies, however abruptly).
 #[derive(Debug)]
 pub struct DirLock {
+    /// Keeping this handle open is what keeps the kernel lock held.
+    _file: File,
     path: PathBuf,
 }
 
 impl DirLock {
     /// Claims `dir` for this process under `role`. Creates the directory
-    /// if needed. A stale lock (holder no longer alive) is replaced; a
-    /// live lock yields [`LockError::Held`].
+    /// if needed. A leftover `LOCK` file from a dead process carries no
+    /// kernel lock and is claimed transparently; a live holder yields
+    /// [`LockError::Held`] naming it.
     pub fn acquire(dir: &Path, role: &str) -> Result<DirLock, LockError> {
         fs::create_dir_all(dir)?;
         let path = dir.join(LOCK_FILE);
+        // Open-or-create and never delete: the file itself is inert, only
+        // the kernel lock on it means anything. (Unlinking on release
+        // would reopen the unlink/lock race: a contender locks an
+        // orphaned inode while a third process locks a fresh one.)
+        // truncate(false): a live holder's info must survive this open —
+        // the file is emptied (set_len) only after the lock is ours.
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(TryLockError::WouldBlock) => {
+                let (pid, role, since) =
+                    read_holder(&path).unwrap_or((0, "unknown".to_owned(), 0));
+                return Err(LockError::Held { pid, role, since_unix_secs: since, path });
+            }
+            Err(TryLockError::Error(e)) => return Err(e.into()),
+        }
+        // Lock held: record who we are, for contenders' error messages.
         let start = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
         let body = Json::Obj(vec![
             ("pid".into(), Json::Num(u64::from(std::process::id()))),
@@ -109,36 +119,10 @@ impl DirLock {
             ("start_unix_secs".into(), Json::Num(start)),
         ])
         .to_pretty();
-        loop {
-            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut file) => {
-                    use std::io::Write as _;
-                    file.write_all(body.as_bytes())?;
-                    file.sync_all()?;
-                    return Ok(DirLock { path });
-                }
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    match read_holder(&path) {
-                        Some((pid, role, since)) if pid_alive(pid) && pid != std::process::id() => {
-                            return Err(LockError::Held {
-                                pid,
-                                role,
-                                since_unix_secs: since,
-                                path,
-                            });
-                        }
-                        // Stale (dead holder), unreadable, or our own pid
-                        // from a previous incarnation: reclaim and retry.
-                        _ => match fs::remove_file(&path) {
-                            Ok(()) => {}
-                            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                            Err(e) => return Err(e.into()),
-                        },
-                    }
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
+        file.set_len(0)?;
+        (&file).write_all(body.as_bytes())?;
+        file.sync_all()?;
+        Ok(DirLock { _file: file, path })
     }
 
     /// The lock file this claim owns.
@@ -147,14 +131,8 @@ impl DirLock {
     }
 }
 
-impl Drop for DirLock {
-    fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
-    }
-}
-
 /// Parses `(pid, role, start)` out of a lock file; `None` for unreadable
-/// or malformed content (treated as stale).
+/// or malformed content (possible if the holder is read mid-write).
 fn read_holder(path: &Path) -> Option<(u32, String, u64)> {
     let text = fs::read_to_string(path).ok()?;
     let doc = json::parse(&text).ok()?;
@@ -167,6 +145,8 @@ fn read_holder(path: &Path) -> Option<(u32, String, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("gwc-lock-{tag}-{}", std::process::id()));
@@ -175,9 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn second_acquire_in_same_process_reclaims_own_lock() {
-        // Same pid: a lock left by a previous incarnation of *this*
-        // process (pid reuse across exec) must not deadlock us forever.
+    fn reacquire_after_drop_succeeds() {
         let dir = temp_dir("self");
         let a = DirLock::acquire(&dir, "campaign").expect("first acquire");
         drop(a);
@@ -187,87 +165,89 @@ mod tests {
     }
 
     #[test]
-    fn stale_lock_from_dead_pid_is_replaced() {
+    fn leftover_lock_file_from_a_dead_process_does_not_block() {
+        // A SIGKILLed (or zombie) holder leaves its LOCK file behind, but
+        // the kernel released the advisory lock with its descriptors; the
+        // file alone holds nothing.
         let dir = temp_dir("stale");
         fs::create_dir_all(&dir).expect("mkdir");
-        // Pid 4_000_000 exceeds the default pid_max; nothing alive has it.
         fs::write(
             dir.join(LOCK_FILE),
             "{\"pid\": 4000000, \"role\": \"campaign\", \"start_unix_secs\": 1}",
         )
-        .expect("plant stale lock");
-        let lock = DirLock::acquire(&dir, "serve").expect("stale lock must be reclaimed");
+        .expect("plant leftover lock file");
+        let lock = DirLock::acquire(&dir, "serve").expect("leftover file must not block");
         drop(lock);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn live_lock_names_the_holder() {
+        // Two opens of the same file are distinct open file descriptions,
+        // so a second acquire conflicts even within one process.
         let dir = temp_dir("live");
-        fs::create_dir_all(&dir).expect("mkdir");
-        // Pid 1 is always alive on Linux and is never us.
-        fs::write(
-            dir.join(LOCK_FILE),
-            "{\"pid\": 1, \"role\": \"campaign\", \"start_unix_secs\": 99}",
-        )
-        .expect("plant live lock");
+        let held = DirLock::acquire(&dir, "campaign").expect("first acquire");
         match DirLock::acquire(&dir, "serve") {
             Err(LockError::Held { pid, role, .. }) => {
-                assert_eq!(pid, 1);
+                assert_eq!(pid, std::process::id());
                 assert_eq!(role, "campaign");
             }
             other => panic!("expected Held, got {other:?}"),
         }
-        let _ = fs::remove_dir_all(&dir);
-    }
-
-    #[cfg(target_os = "linux")]
-    #[test]
-    fn zombie_holder_is_stale() {
-        // A SIGKILLed daemon whose parent has not reaped it yet is a
-        // zombie: `/proc/<pid>` still exists, but every file handle is
-        // gone. It must not hold its own data dir hostage.
-        let mut child = std::process::Command::new("/proc/self/exe")
-            .arg("--help")
-            .stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::null())
-            .spawn()
-            .expect("spawn short-lived child");
-        let pid = child.id();
-        // Wait for it to die without reaping it (no `child.wait()`), so
-        // it stays a zombie for the duration of this test.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        loop {
-            let stat = fs::read_to_string(format!("/proc/{pid}/stat")).expect("child stat");
-            let state = stat.rsplit(')').next().unwrap_or("").trim().chars().next();
-            if state == Some('Z') {
-                break;
-            }
-            assert!(std::time::Instant::now() < deadline, "child never became a zombie");
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        assert!(!pid_alive(pid), "a zombie cannot hold a lock");
-
-        let dir = temp_dir("zombie");
-        fs::create_dir_all(&dir).expect("mkdir");
-        fs::write(
-            dir.join(LOCK_FILE),
-            format!("{{\"pid\": {pid}, \"role\": \"serve\", \"start_unix_secs\": 1}}"),
-        )
-        .expect("plant zombie lock");
-        let lock = DirLock::acquire(&dir, "serve").expect("zombie lock must be reclaimed");
-        drop(lock);
-        let _ = child.wait();
+        drop(held);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn garbage_lock_content_is_stale() {
+    fn garbage_lock_content_does_not_block() {
         let dir = temp_dir("garbage");
         fs::create_dir_all(&dir).expect("mkdir");
         fs::write(dir.join(LOCK_FILE), "not json at all").expect("plant garbage");
-        let lock = DirLock::acquire(&dir, "serve").expect("garbage lock must be reclaimed");
+        let lock = DirLock::acquire(&dir, "serve").expect("garbage content must not block");
         drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contended_acquire_never_admits_two_holders() {
+        // Regression for the reclamation TOCTOU: many threads hammering
+        // acquire/release on one directory (seeded with a leftover lock
+        // file, as after a crash) must never hold two claims at once.
+        let dir = temp_dir("race");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(
+            dir.join(LOCK_FILE),
+            "{\"pid\": 4000000, \"role\": \"campaign\", \"start_unix_secs\": 1}",
+        )
+        .expect("plant leftover lock file");
+        let inside = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let dir = dir.clone();
+                let inside = Arc::clone(&inside);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        match DirLock::acquire(&dir, "serve") {
+                            Ok(lock) => {
+                                assert!(
+                                    !inside.swap(true, Ordering::SeqCst),
+                                    "two DirLocks held on one directory"
+                                );
+                                std::thread::yield_now();
+                                inside.store(false, Ordering::SeqCst);
+                                drop(lock);
+                            }
+                            // Losing the race is fine; corruption is not.
+                            Err(LockError::Held { .. }) => {}
+                            Err(LockError::Io(e)) => panic!("lock I/O failure: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("contender thread");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }

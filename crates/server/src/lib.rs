@@ -23,7 +23,8 @@
 //!   `429 Retry-After` instead of buffering without bound, a global
 //!   circuit breaker trips on consecutive job failures, and per-client
 //!   breakers bounce peers that spam malformed requests ([`state`]);
-//! - **graceful drain** — `SIGTERM` or `POST /shutdown` stops admission,
+//! - **graceful drain** — `SIGTERM` or `POST /shutdown` (loopback peers
+//!   only) stops admission,
 //!   lets in-flight jobs finish, leaves queued jobs journaled for the
 //!   next boot, and exits 0.
 //!
@@ -130,6 +131,17 @@ impl Shared {
     }
 }
 
+/// Returns a connection slot on drop, so the count stays correct even
+/// when the handler panics or its thread was never spawned — a leaked
+/// slot would count toward `max_connections` forever.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Runs the daemon until drained. Returns the process exit code:
 /// `0` after a clean drain, `1` after a journal-failure fail-stop.
 pub fn run(cfg: &ServeConfig, supervisor: Supervisor) -> io::Result<i32> {
@@ -201,12 +213,16 @@ pub fn run(cfg: &ServeConfig, supervisor: Supervisor) -> io::Result<i32> {
                     continue;
                 }
                 shared.conns.fetch_add(1, Ordering::SeqCst);
+                // The guard rides inside the closure: the slot frees when
+                // the handler returns, panics, or — if spawn fails and
+                // drops the closure unrun — immediately.
+                let guard = ConnGuard(Arc::clone(&shared));
                 let shared = Arc::clone(&shared);
                 let peer = peer.ip().to_string();
                 let _ = std::thread::Builder::new().name("gwc-serve-conn".into()).spawn(
                     move || {
+                        let _guard = guard;
                         handle_connection(&shared, stream, &peer);
-                        shared.conns.fetch_sub(1, Ordering::SeqCst);
                     },
                 );
             }
@@ -365,7 +381,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: &str) {
     }
     let response = match parsed {
         Err(e) => http::Response::text(e.status(), format!("{}\n", e.detail())),
-        Ok(request) => route(shared, &request),
+        Ok(request) => route(shared, &request, peer),
     };
     // Only genuine client mistakes feed the breaker: shed load (429) and
     // unavailability (503) are the daemon's doing, not the peer's.
@@ -374,8 +390,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: &str) {
     response.send(&mut stream);
 }
 
+/// Whether a peer address string (an IP, as recorded by the accept loop)
+/// is loopback. Unparseable peers count as remote.
+fn peer_is_loopback(peer: &str) -> bool {
+    peer.parse::<std::net::IpAddr>().is_ok_and(|ip| ip.is_loopback())
+}
+
 /// Maps one request to a response.
-fn route(shared: &Shared, request: &http::Request) -> http::Response {
+fn route(shared: &Shared, request: &http::Request, peer: &str) -> http::Response {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
@@ -404,6 +426,14 @@ fn route(shared: &Shared, request: &http::Request) -> http::Response {
             http::Response::json(200, doc.to_pretty())
         }
         ("POST", "/shutdown") => {
+            // Drain is an operator action. The endpoint is deliberately
+            // exempt from the client breaker, so on a non-loopback bind
+            // any peer that could reach the socket could drain the
+            // daemon at will — restrict it to local operators (SIGTERM
+            // remains the drain path for remote supervision).
+            if !peer_is_loopback(peer) {
+                return http::Response::text(403, "shutdown is restricted to loopback peers\n");
+            }
             sig::request();
             shared.work.notify_all();
             http::Response::text(200, "draining\n")
@@ -568,6 +598,15 @@ mod tests {
         assert!(folded[1].2.is_none());
         assert_eq!(folded[2].1, 0, "queued job never started");
         assert!(folded[2].2.is_none());
+    }
+
+    #[test]
+    fn shutdown_gate_accepts_only_loopback_peers() {
+        assert!(peer_is_loopback("127.0.0.1"));
+        assert!(peer_is_loopback("::1"));
+        assert!(!peer_is_loopback("10.0.0.9"));
+        assert!(!peer_is_loopback("192.168.1.4"));
+        assert!(!peer_is_loopback("not-an-ip"));
     }
 
     #[test]

@@ -217,27 +217,36 @@ impl DaemonState {
         if self.draining || !self.ready {
             return Admission::Draining;
         }
-        match &self.breaker {
+        // An expired Open only *nominates* this submission as the probe;
+        // the HalfOpen transition commits on the Admit return below,
+        // after the queue-capacity check. Committing it earlier would
+        // wedge admission forever if the probe were then shed: HalfOpen
+        // has no timeout, and its probe hash would never reach the jobs
+        // map to deliver a verdict.
+        let probe = match &self.breaker {
             Breaker::Open { until } if now < *until => {
                 let secs = until.saturating_duration_since(now).as_secs().max(1);
                 return Admission::ShedBreakerOpen(secs);
             }
-            Breaker::Open { .. } => {
-                // Cool-down over: half-open, admit this one as the probe.
-                self.breaker = Breaker::HalfOpen { probe: spec.hash.clone() };
-            }
+            // Cool-down over: admit this one as the probe (if it fits).
+            Breaker::Open { .. } => true,
             Breaker::HalfOpen { .. } => {
                 // One probe at a time; everyone else waits a beat.
                 return Admission::ShedBreakerOpen(1);
             }
-            Breaker::Closed { .. } => {}
-        }
+            Breaker::Closed { .. } => false,
+        };
         if self.queue.len() >= self.policy.queue_capacity {
             // Shed: hint one second per queued job (each must drain
             // through the pool before this client could be admitted).
+            // An expired-Open breaker stays Open, so a later submission
+            // can still become the probe once the queue has room.
             return Admission::ShedQueueFull(self.queue.len() as u64);
         }
         spec.id = self.next_id;
+        if probe {
+            self.breaker = Breaker::HalfOpen { probe: spec.hash.clone() };
+        }
         Admission::Admit(spec)
     }
 
@@ -506,6 +515,55 @@ mod tests {
         match s.admit(spec("Doom3/trdemo2", 4), later) {
             Admission::Admit(_) => {}
             other => panic!("expected Admit after reclose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_shed_by_full_queue_does_not_wedge_admission() {
+        // Regression: the HalfOpen transition used to commit before the
+        // queue-capacity check, so an expired-Open breaker meeting a full
+        // queue left a probe hash that was never admitted — and HalfOpen
+        // has no timeout, so every later submission shed forever.
+        let now = Instant::now();
+        let policy = StatePolicy {
+            queue_capacity: 1,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(10),
+            ..StatePolicy::default()
+        };
+        let mut s = ready_state(policy);
+        // Open the breaker with one failure, while another job sits
+        // queued (admitted before the failure) filling the queue.
+        let failing = match s.admit(spec("Doom3/trdemo2", 1), now) {
+            Admission::Admit(sp) => sp,
+            other => panic!("expected Admit, got {other:?}"),
+        };
+        let failing_hash = failing.hash.clone();
+        s.commit_admit(failing);
+        s.next_queued().expect("pop the failing job");
+        match s.admit(spec("Doom3/trdemo2", 2), now) {
+            Admission::Admit(sp) => s.commit_admit(sp),
+            other => panic!("expected Admit, got {other:?}"),
+        }
+        let e = entry_for(&s.job(&failing_hash).expect("row").spec.clone(), Outcome::Panicked);
+        s.commit_start(&failing_hash);
+        s.commit_done(&failing_hash, e, now);
+        // Cool-down over, queue full: the probe candidate is shed on
+        // queue capacity, not on the breaker...
+        let later = now + Duration::from_secs(11);
+        match s.admit(spec("Doom3/trdemo2", 3), later) {
+            Admission::ShedQueueFull(_) => {}
+            other => panic!("expected ShedQueueFull, got {other:?}"),
+        }
+        // ...and once the queue drains, the same submission becomes the
+        // probe instead of bouncing off a wedged HalfOpen forever.
+        let queued = s.next_queued().expect("drain the queued job");
+        s.commit_start(&queued.hash);
+        let e = entry_for(&s.job(&queued.hash).expect("row").spec.clone(), Outcome::Ok);
+        s.commit_done(&queued.hash, e, later);
+        match s.admit(spec("Doom3/trdemo2", 3), later) {
+            Admission::Admit(_) => {}
+            other => panic!("expected probe Admit after queue drained, got {other:?}"),
         }
     }
 

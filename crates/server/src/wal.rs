@@ -218,17 +218,26 @@ impl Wal {
     }
 
     /// Compacts the journal to exactly `live` (in order), via temp file,
-    /// fsync, and atomic rename, then reopens the handle. On any failure
-    /// the original journal is untouched.
+    /// fsync, and atomic rename. The replacement append handle is opened
+    /// on the temp file *before* the rename — afterwards that inode *is*
+    /// the journal, so the swap cannot half-complete and leave appends
+    /// going to an unlinked file. Every fallible step happens before the
+    /// rename: on any failure the original journal and handle are
+    /// untouched, which is what makes a rotation error genuinely
+    /// non-fatal for the caller.
     pub fn rotate(&mut self, live: &[Record]) -> io::Result<()> {
         let tmp_path = self.path.with_extension("wal.tmp");
+        let mut written = 0u64;
         {
             let mut tmp = File::create(&tmp_path)?;
             for record in live {
-                tmp.write_all(&frame(record.to_json().to_pretty().as_bytes()))?;
+                let framed = frame(record.to_json().to_pretty().as_bytes());
+                tmp.write_all(&framed)?;
+                written += framed.len() as u64;
             }
             tmp.sync_all()?;
         }
+        let file = OpenOptions::new().append(true).open(&tmp_path)?;
         fs::rename(&tmp_path, &self.path)?;
         // Make the rename itself durable before the old handle goes away.
         if let Some(dir) = self.path.parent() {
@@ -236,8 +245,8 @@ impl Wal {
                 let _ = d.sync_all();
             }
         }
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
-        self.len = self.file.metadata()?.len();
+        self.file = file;
+        self.len = written;
         Ok(())
     }
 }
@@ -373,6 +382,27 @@ mod tests {
         assert!(wal.len() < before, "rotation must shrink the journal");
         let (_, outcome) = Wal::open(&dir).expect("reopen");
         assert_eq!(outcome.records, live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rotation_leaves_the_journal_intact_and_durable() {
+        let dir = temp_dir("rotate-fail");
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        wal.append(&Record::Started("aa".into())).expect("append");
+        // Block the temp path with a directory so rotation fails before
+        // the rename; the live handle must keep appending to the real,
+        // linked journal.
+        fs::create_dir(dir.join("jobs.wal.tmp")).expect("block tmp path");
+        let live = vec![Record::Started("aa".into())];
+        assert!(wal.rotate(&live).is_err(), "blocked rotation must fail");
+        wal.append(&Record::Started("bb".into())).expect("append after failed rotate");
+        let (_, outcome) = Wal::open(&dir).expect("reopen");
+        assert_eq!(
+            outcome.records,
+            vec![Record::Started("aa".into()), Record::Started("bb".into())],
+            "appends after a failed rotation must survive a reopen"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
