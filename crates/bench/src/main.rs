@@ -32,9 +32,12 @@ experiments:
                        cache size, filtering level)
   replay               replay one timedemo through the simulator (see
                        --game, --checkpoint-every, --resume FILE)
-  parallel             time the fragment pipeline serial vs --threads
-                       workers, verify bit-identical results, and record
-                       the honest numbers in BENCH_parallel.json
+  parallel             time the pipeline serial vs --threads workers in
+                       three parallel modes (fragment stripes, chunked
+                       geometry, two-deep frame pipeline), verify every
+                       run bit-identical, and record work-tick throughput
+                       in BENCH_parallel.json + BENCH_pipeline.json (see
+                       --check for the regression gate)
   campaign             the full supervised campaign: characterize all
                        twelve games, checkpointed replays of the simulated
                        demos, and the ablation sweep — with panic
@@ -63,6 +66,12 @@ options:
   --threads N          fragment-pipeline worker threads (default: the
                        GWC_THREADS environment variable, else 1 for
                        replay / all host cores for parallel)
+  --check FILE         parallel: after benching, compare the fresh
+                       ticks_per_second against the committed baseline
+                       FILE (BENCH_parallel.json or BENCH_pipeline.json,
+                       matched by its \"bench\" field); exit 1 on a >10%
+                       regression, exit 2 if FILE is missing or
+                       malformed; repeatable
   --paper              full setting: 2000 API frames, 8 simulated frames
                        at 1024x768 (minutes of runtime); campaigns start
                        at the top of the degradation ladder
@@ -158,6 +167,7 @@ struct Options {
     checkpoint_every: Option<u32>,
     resume_file: Option<String>,
     threads: u32,
+    check: Vec<String>,
     dir: String,
     campaign_resume: bool,
     fail_fast: bool,
@@ -211,6 +221,7 @@ fn parse_args() -> Options {
     let mut checkpoint_every = None;
     let mut resume_file = None;
     let mut threads = 0u32;
+    let mut check = Vec::new();
     let mut dir = "campaign".to_string();
     let mut campaign_resume = false;
     let mut fail_fast = false;
@@ -290,6 +301,7 @@ fn parse_args() -> Options {
             "--threads" => {
                 threads = parse(&arg, value(&mut args, &arg), "a worker thread count")
             }
+            "--check" => check.push(value(&mut args, &arg)),
             "--dir" => dir = value(&mut args, &arg),
             "--fail-fast" => fail_fast = true,
             "--keep-going" => fail_fast = false,
@@ -362,6 +374,7 @@ fn parse_args() -> Options {
         checkpoint_every,
         resume_file,
         threads,
+        check,
         dir,
         campaign_resume,
         fail_fast,
@@ -546,10 +559,87 @@ fn run_ablations(options: &Options) {
     print!("{report}");
 }
 
-/// Times the fragment-heavy replay serial vs `--threads` workers, checks
-/// the two runs bit-identical, and records the honest numbers (including
-/// the host's core count — a speedup claim from a 1-core container is
-/// meaningless) in `BENCH_parallel.json`.
+/// One timed configuration of the parallel bench, checked bit-identical
+/// against the serial reference.
+struct BenchPass {
+    label: String,
+    seconds: f64,
+    identical: bool,
+}
+
+/// Extracts `"key": <u64>` from a flat JSON object without a full parse,
+/// so baseline files may carry float fields (seconds) the perf gate never
+/// reads.
+fn json_field_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_field_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let at = text.find(&needle)? + needle.len();
+    text[at..].split('"').next()
+}
+
+/// Reads the `--check` baseline files *before* the bench overwrites them
+/// with fresh numbers. A missing or unreadable baseline is a hard failure
+/// (exit 2) — that is the gate CI relies on, and a silently absent file
+/// is how the last baseline vanished.
+fn read_baselines(checks: &[String]) -> Vec<(String, String)> {
+    checks
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("repro: --check {path}: cannot read baseline: {e}");
+                eprintln!("(regenerate with 'repro parallel' and commit the file)");
+                std::process::exit(2);
+            });
+            (path.clone(), text)
+        })
+        .collect()
+}
+
+/// The perf gate: compares each pre-read baseline's work-tick throughput
+/// against the fresh measurement of the same bench. A >10% regression
+/// exits 1.
+fn check_baselines(baselines: &[(String, String)], fresh: &[(String, u64)]) {
+    let mut regressed = false;
+    for (path, text) in baselines {
+        let (Some(bench), Some(baseline)) =
+            (json_field_str(text, "bench"), json_field_u64(text, "ticks_per_second"))
+        else {
+            eprintln!("repro: --check {path}: no 'bench' + 'ticks_per_second' fields");
+            std::process::exit(2);
+        };
+        let Some((_, current)) = fresh.iter().find(|(name, _)| name == bench) else {
+            eprintln!("repro: --check {path}: baseline is for unknown bench '{bench}'");
+            std::process::exit(2);
+        };
+        // Fresh throughput must reach 90% of the committed baseline.
+        let floor = baseline - baseline / 10;
+        let verdict = if *current < floor { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "perf gate [{bench}]: {current} ticks/s vs baseline {baseline} (floor {floor}): {verdict}"
+        );
+        if *current < floor {
+            regressed = true;
+        }
+    }
+    if regressed {
+        eprintln!("repro: work-tick throughput regressed more than 10% against the committed baseline");
+        std::process::exit(1);
+    }
+}
+
+/// Times the replay serial vs `--threads` workers across the parallel
+/// modes — fragment stripes, chunked geometry, and the two-deep frame
+/// pipeline — checks every run bit-identical to serial, and records the
+/// honest numbers (including the host's core count — a speedup claim
+/// from a 1-core container is meaningless) in `BENCH_parallel.json` and
+/// `BENCH_pipeline.json`, keyed to the deterministic work-tick clock.
 fn run_parallel_bench(options: &Options) {
     let config = options.run_config();
     let frames = config.sim_frames.max(2);
@@ -567,54 +657,96 @@ fn run_parallel_bench(options: &Options) {
             .filter(|&n| n > 0)
             .unwrap_or(host_cores as u32)
     };
+    // Read baselines up front: fail fast on a missing file, and never
+    // compare a fresh result against the bytes it just wrote itself.
+    let baselines = read_baselines(&options.check);
 
-    let timed = |workers: u32| {
+    let timed = |label: &str, geom: u32, frag: u32, pipeline: bool| {
+        eprintln!("parallel bench: {} ({frames} frames at {w}x{h}), {label} pass...", options.game);
         let start = std::time::Instant::now();
-        let gpu = gwc_bench::simulate_with(&options.game, frames, w, h, |c| c.threads = workers);
+        let gpu = gwc_bench::simulate_with(&options.game, frames, w, h, |c| {
+            c.threads = frag;
+            c.geometry_threads = geom;
+            c.frame_pipeline = pipeline;
+        });
         (start.elapsed().as_secs_f64(), gpu)
     };
-    eprintln!("parallel bench: {} ({frames} frames at {w}x{h}), serial pass...", options.game);
-    let (serial_secs, serial) = timed(1);
-    eprintln!("parallel bench: {threads}-thread pass...");
-    let (parallel_secs, parallel) = timed(threads);
+    let (serial_secs, serial) = timed("serial", 1, 1, false);
+    let work_ticks = serial.work_tick();
+    let reference = serial.save_checkpoint();
 
-    let identical = serial.stats() == parallel.stats()
-        && serial.framebuffer_crc() == parallel.framebuffer_crc()
-        && serial.save_checkpoint() == parallel.save_checkpoint();
-    let speedup = serial_secs / parallel_secs;
+    let pass = |label: String, geom: u32, frag: u32, pipeline: bool| {
+        let (seconds, gpu) = timed(&label, geom, frag, pipeline);
+        let identical = serial.stats() == gpu.stats()
+            && serial.framebuffer_crc() == gpu.framebuffer_crc()
+            && reference == gpu.save_checkpoint();
+        BenchPass { label, seconds, identical }
+    };
+    let fragment = pass(format!("{threads}-thread fragment"), 1, threads, false);
+    let geometry = pass(format!("{threads}-thread geometry+fragment"), threads, threads, false);
+    let pipelined = pass(format!("{threads}-thread pipelined"), threads, threads, true);
 
     let mut t = Table::new(
-        format!("Parallel fragment pipeline: {} ({frames} frames at {w}x{h})", options.game),
-        &["configuration", "seconds", "speedup", "bit-identical"],
+        format!("Parallel pipeline: {} ({frames} frames at {w}x{h}, {work_ticks} work ticks)", options.game),
+        &["configuration", "seconds", "speedup", "ticks/s", "bit-identical"],
     );
     t.numeric();
-    t.row(vec!["serial".into(), format!("{serial_secs:.3}"), "1.00".into(), "-".into()]);
+    let tps = |seconds: f64| (work_ticks as f64 / seconds) as u64;
     t.row(vec![
-        format!("{threads} threads"),
-        format!("{parallel_secs:.3}"),
-        format!("{speedup:.2}"),
-        if identical { "yes".into() } else { "NO".into() },
+        "serial".into(),
+        format!("{serial_secs:.3}"),
+        "1.00".into(),
+        tps(serial_secs).to_string(),
+        "-".into(),
     ]);
+    for p in [&fragment, &geometry, &pipelined] {
+        t.row(vec![
+            p.label.clone(),
+            format!("{:.3}", p.seconds),
+            format!("{:.2}", serial_secs / p.seconds),
+            tps(p.seconds).to_string(),
+            if p.identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
     println!("{}", t.to_ascii());
     if host_cores == 1 {
         println!("(host exposes a single core: the speedup column measures scheduling overhead, not scaling)");
     }
 
-    let json = format!(
-        "{{\n  \"game\": \"{}\",\n  \"frames\": {frames},\n  \"width\": {w},\n  \"height\": {h},\n  \"host_cores\": {host_cores},\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_secs:.3},\n  \"parallel_seconds\": {parallel_secs:.3},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {identical}\n}}\n",
+    // BENCH_parallel.json carries the unpipelined fully-parallel mode;
+    // BENCH_pipeline.json the pipelined one. Both gate on work ticks per
+    // wall second — the numerator is deterministic, so only the host's
+    // wall clock varies.
+    let header = format!(
+        "  \"game\": \"{}\",\n  \"frames\": {frames},\n  \"width\": {w},\n  \"height\": {h},\n  \"host_cores\": {host_cores},\n  \"threads\": {threads},\n  \"work_ticks\": {work_ticks},\n  \"serial_seconds\": {serial_secs:.3},\n",
         options.game
     );
-    match std::fs::write("BENCH_parallel.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_parallel.json"),
-        Err(e) => {
-            eprintln!("repro: cannot write BENCH_parallel.json: {e}");
-            std::process::exit(1);
+    let all_identical = fragment.identical && geometry.identical && pipelined.identical;
+    let mut fresh = Vec::new();
+    for (file, bench, p) in
+        [("BENCH_parallel.json", "parallel", &geometry), ("BENCH_pipeline.json", "pipeline", &pipelined)]
+    {
+        let json = format!(
+            "{{\n  \"bench\": \"{bench}\",\n{header}  \"parallel_seconds\": {:.3},\n  \"speedup\": {:.3},\n  \"ticks_per_second\": {},\n  \"bit_identical\": {}\n}}\n",
+            p.seconds,
+            serial_secs / p.seconds,
+            tps(p.seconds),
+            p.identical
+        );
+        match std::fs::write(file, &json) {
+            Ok(()) => eprintln!("wrote {file}"),
+            Err(e) => {
+                eprintln!("repro: cannot write {file}: {e}");
+                std::process::exit(1);
+            }
         }
+        fresh.push((bench.to_string(), tps(p.seconds)));
     }
-    if !identical {
-        eprintln!("repro: parallel run diverged from serial — determinism bug");
+    if !all_identical {
+        eprintln!("repro: a parallel run diverged from serial — determinism bug");
         std::process::exit(1);
     }
+    check_baselines(&baselines, &fresh);
 }
 
 /// A hardened replay of one timedemo: frame-boundary checkpoints on the

@@ -9,9 +9,8 @@ use gwc_mem::compress::{classify_color_block, classify_z_block, BlockState,
                         CompressionDirectory};
 use gwc_mem::{AddressSpace, Cache, CacheConfig, CacheStats, ClientTraffic, FrameTraffic,
               LineState, MemClient, MemoryController};
-use gwc_raster::{clip_near, BlendState, ClipResult, CompareFunc, CullMode,
-                 DepthStencilBuffer, DepthState, FrontFace, HzBuffer, ShadedVertex,
-                 StencilOp, StencilState, TriangleSetup, Viewport, MAX_VARYINGS};
+use gwc_raster::{BlendState, CompareFunc, CullMode, DepthStencilBuffer, DepthState,
+                 FrontFace, HzBuffer, StencilOp, StencilState, TriangleSetup, Viewport};
 use gwc_shader::{ExecStats, Program, ProgramKind, ShaderMachine};
 use gwc_telemetry::{Collector, FrameSample, Level, TraceMeta};
 use gwc_texture::{SampleStats, SamplerState, Texture};
@@ -22,6 +21,7 @@ use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
 use crate::error::{FaultPolicy, SimError};
 use crate::fragment::{DrawPacket, StripeJob, StripeOutcome, StripeTrace, StripeUnits};
+use crate::geometry::{self, GeomOutput, GeomRequest, SetupState};
 use crate::stats::{FrameSimStats, SimStats};
 use crate::streamer::VertexCache;
 
@@ -38,6 +38,53 @@ struct IndexBufferRes {
     indices: Indices,
     #[allow(dead_code)]
     addr: u64,
+}
+
+/// A draw whose geometry is committed but whose fragment flush is
+/// deferred, so the *next* draw's geometry can overlap it. Pure data —
+/// no thread lives between commands. Everything the flush reads that a
+/// non-draining command could change (render state, texture bindings,
+/// the fragment-shader constants) is snapshotted here at defer time, so
+/// the flush sees exactly the state the serial path would have.
+#[derive(Debug)]
+struct PendingFlush {
+    tris: Vec<(TriangleSetup, StencilState)>,
+    program: Program,
+    early_z_ok: bool,
+    hz_ok: bool,
+    depth_state: DepthState,
+    blend: BlendState,
+    color_mask: bool,
+    alpha_test: Option<f32>,
+    bindings: HashMap<u8, u32>,
+    viewport: Viewport,
+    /// Fragment machine snapshot: master constants, zeroed statistics.
+    proto_fs: ShaderMachine,
+    /// Work tick at the start of the draw (span start).
+    draw_start: u64,
+    /// Work tick after the draw's geometry committed; the flush's trace
+    /// timebase and the base of its fragment-tick span extension.
+    geom_end: u64,
+    tri_count: u64,
+}
+
+/// A validated draw's geometry work, resolved by `Gpu::validate_draw`
+/// before the (possibly overlapped) geometry run is kicked.
+struct GeomArgs {
+    vertex_buffer: u32,
+    index_buffer: u32,
+    primitive: gwc_raster::PrimitiveType,
+    first: usize,
+    tri_count: usize,
+    program: Program,
+}
+
+/// Validation products of a draw that needs fragment work resolved.
+struct DrawPrep {
+    vertex_program: Program,
+    fragment_program: Program,
+    early_z_ok: bool,
+    hz_ok: bool,
 }
 
 /// The behavioural GPU simulator.
@@ -90,6 +137,12 @@ pub struct Gpu {
     stripes: Vec<StripeUnits>,
     threads: u32,
 
+    // Chunk-parallel geometry front end: resolved worker count (chunk
+    // layout is fixed by `GpuConfig::geometry_chunk`, never by this), and
+    // the two-deep draw pipeline's deferred fragment flush, if any.
+    geom_threads: u32,
+    pending: Option<PendingFlush>,
+
     // Framebuffer state.
     zbuffer: DepthStencilBuffer,
     hz: HzBuffer,
@@ -109,6 +162,10 @@ pub struct Gpu {
     // Fault handling.
     skip_frame: bool,
     first_error: Option<SimError>,
+    // Whether seeded fault injection is armed; the draw pipeline falls
+    // back to synchronous flushes while it is (injector streams are
+    // consumed in read order, which deferral would reorder).
+    injection_armed: bool,
 
     // Supervision: an optional cooperative cancellation token. When it
     // trips, command execution stops doing work (the stream keeps
@@ -145,6 +202,58 @@ fn resolve_threads(configured: u32) -> u32 {
         .unwrap_or(1)
 }
 
+/// Resolves the geometry worker count: an explicit configuration wins;
+/// `0` consults the `GWC_GEOM_THREADS` environment variable and falls
+/// back to the resolved fragment worker count.
+fn resolve_geom_threads(configured: u32, fragment_threads: u32) -> u32 {
+    if configured > 0 {
+        return configured;
+    }
+    std::env::var("GWC_GEOM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(fragment_threads)
+}
+
+/// Builds the borrowed geometry request for a validated draw. A free
+/// function over the individual fields (rather than a `&self` method) so
+/// `flush_pending` can construct it while the framebuffer bands and
+/// stripe units are mutably lent to the overlapped fragment flush.
+#[allow(clippy::too_many_arguments)]
+fn geom_request<'a>(
+    vertex_buffers: &'a HashMap<u32, VertexBufferRes>,
+    index_buffers: &'a HashMap<u32, IndexBufferRes>,
+    config: &GpuConfig,
+    geom_threads: u32,
+    vs_machine: &ShaderMachine,
+    setup: SetupState,
+    cancel: Option<&'a CancelToken>,
+    a: &'a GeomArgs,
+) -> GeomRequest<'a> {
+    let vb = &vertex_buffers[&a.vertex_buffer];
+    let ib = &index_buffers[&a.index_buffer];
+    let mut vs_proto = vs_machine.clone();
+    vs_proto.restore_stats(ExecStats::default());
+    GeomRequest {
+        data: &vb.data,
+        attrs: vb.layout.attributes.max(1) as usize,
+        stride_bytes: vb.layout.stride_bytes as u64,
+        vertex_buffer: a.vertex_buffer,
+        indices: &ib.indices,
+        first: a.first,
+        primitive: a.primitive,
+        tri_count: a.tri_count,
+        program: &a.program,
+        vs_proto,
+        cache_entries: config.vertex_cache_entries,
+        chunk: config.geometry_chunk.max(1) as usize,
+        workers: geom_threads as usize,
+        setup,
+        cancel,
+    }
+}
+
 impl Gpu {
     /// Creates a GPU with cleared framebuffers.
     ///
@@ -166,6 +275,7 @@ impl Gpu {
         let stripe_count = config.height.div_ceil(config.stripe_rows) as usize;
         let stripes = (0..stripe_count).map(|_| StripeUnits::new(&config)).collect();
         let threads = resolve_threads(config.threads);
+        let geom_threads = resolve_geom_threads(config.geometry_threads, threads);
         Gpu {
             viewport,
             vram,
@@ -189,6 +299,8 @@ impl Gpu {
             vcache: VertexCache::new(config.vertex_cache_entries),
             stripes,
             threads,
+            geom_threads,
+            pending: None,
             zbuffer: DepthStencilBuffer::new(config.width, config.height),
             hz: HzBuffer::new(config.width, config.height),
             z_dir: CompressionDirectory::new(config.width, config.height),
@@ -203,6 +315,7 @@ impl Gpu {
             fs_prev: ExecStats::default(),
             skip_frame: false,
             first_error: None,
+            injection_armed: false,
             cancel: None,
             tick: 0,
             telemetry: None,
@@ -233,6 +346,7 @@ impl Gpu {
     /// `seed` and the stripe index, so the corruption pattern depends on
     /// the (configuration-fixed) stripe layout, never on the thread count.
     pub fn enable_memory_fault_injection(&mut self, seed: u64, rate_ppm: u32) {
+        self.injection_armed = rate_ppm > 0;
         self.mem.enable_fault_injection(seed, rate_ppm);
         for (i, s) in self.stripes.iter_mut().enumerate() {
             let stripe_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -303,6 +417,22 @@ impl Gpu {
     /// [`GpuConfig::threads`]).
     pub fn threads(&self) -> u32 {
         self.threads
+    }
+
+    /// Resolved geometry-front-end worker count (see
+    /// [`GpuConfig::geometry_threads`]).
+    pub fn geometry_threads(&self) -> u32 {
+        self.geom_threads
+    }
+
+    /// Whether the two-deep draw pipeline is live: it requires the
+    /// configuration flag, strict fault handling (the lenient policies
+    /// re-attribute absorbed faults at batch/frame granularity, which a
+    /// deferred flush would shift), and a disarmed fault injector.
+    fn pipeline_active(&self) -> bool {
+        self.config.frame_pipeline
+            && matches!(self.config.fault_policy, FaultPolicy::Strict)
+            && !self.injection_armed
     }
 
     /// Number of framebuffer stripes (fixed by the configuration).
@@ -408,59 +538,43 @@ impl Gpu {
 
     // ---- pipeline internals ------------------------------------------
 
-    /// Fetches a shaded vertex through the post-transform cache.
-    fn fetch_vertex(
-        &mut self,
-        vb: u32,
-        index: u32,
-        program: &Program,
-    ) -> Result<ShadedVertex, SimError> {
-        self.frame.indices += 1;
-        if let Some(v) = self.vcache.lookup(index) {
-            self.frame.vcache_hits += 1;
-            return Ok(v);
+    /// Whether `command` must see the deferred fragment flush committed
+    /// before it executes. Draws manage the pipeline themselves; render
+    /// state, bindings and program binds are snapshotted into the
+    /// [`PendingFlush`], so only commands that observe framebuffer or
+    /// statistics state (clears, frame retirement, resource creation) or
+    /// that can fault in their own right (constant uploads) drain.
+    fn needs_drain(command: &Command) -> bool {
+        match command {
+            Command::Draw { .. } => false,
+            Command::State(s) => matches!(
+                s,
+                StateCommand::VertexConstants { .. } | StateCommand::FragmentConstants { .. }
+            ),
+            _ => true,
         }
-        let buf = self.vertex_buffers.get(&vb).ok_or(SimError::UnboundResource {
-            kind: "vertex-buffer",
-            id: vb,
-        })?;
-        let attrs = buf.layout.attributes.max(1) as usize;
-        let base = index as usize * attrs;
-        if base + attrs > buf.data.len() {
-            return Err(SimError::IndexOutOfRange {
-                what: "vertex",
-                index: index as u64,
-                limit: (buf.data.len() / attrs) as u64,
-            });
-        }
-        let inputs = &buf.data[base..base + attrs];
-        // Vertex attribute fetch from GPU memory.
-        self.mem.read(MemClient::Vertex, buf.layout.stride_bytes as u64);
-        let outputs = self.vs_machine.run_vertex(program, inputs);
-        let clip = outputs[0];
-        if !(clip.x.is_finite() && clip.y.is_finite() && clip.z.is_finite() && clip.w.is_finite())
-        {
-            return Err(SimError::NonFiniteVertex { buffer: vb, index });
-        }
-        let mut varyings = [Vec4::ZERO; MAX_VARYINGS];
-        varyings.copy_from_slice(&outputs[1..1 + MAX_VARYINGS]);
-        let v = ShadedVertex { clip, varyings };
-        self.vcache.insert(index, v);
-        self.frame.shaded_vertices += 1;
-        Ok(v)
     }
 
-    fn draw(
+    /// Commits the deferred fragment flush, if one is pending.
+    fn drain_pending(&mut self) -> Result<(), SimError> {
+        match self.pending.take() {
+            Some(p) => self.flush_pending(p, None).0,
+            None => Ok(()),
+        }
+    }
+
+    /// Resolves and validates everything a draw needs before geometry
+    /// runs, charging the index-fetch memory traffic. Exactly the serial
+    /// validation order, so the first fault reported is unchanged.
+    fn validate_draw(
         &mut self,
         vertex_buffer: u32,
         index_buffer: u32,
-        primitive: gwc_raster::PrimitiveType,
+        vp_id: u32,
+        fp_id: u32,
         first: u32,
         count: u32,
-    ) -> Result<(), SimError> {
-        let (Some(vp_id), Some(fp_id)) = (self.bound_vertex, self.bound_fragment) else {
-            return Ok(()); // no programs bound: draw is ignored
-        };
+    ) -> Result<DrawPrep, SimError> {
         let vertex_program = self
             .programs
             .get(&vp_id)
@@ -524,126 +638,229 @@ impl Gpu {
             && !stencil_sensitive(&self.stencil_front)
             && !stencil_sensitive(&self.stencil_back);
 
-        // Phase 1 — serial geometry: fetch, shade, clip, cull, set up. A
-        // geometry fault aborts the draw before *any* fragment work, so
-        // the fragment flush below always sees a complete triangle list.
-        let tri_count = primitive.triangle_count(count as usize);
-        let mut tris: Vec<(TriangleSetup, StencilState)> = Vec::new();
-        let cancel = self.cancel.clone();
-        let draw_start = self.tick;
-        for t in 0..tri_count {
-            // One work tick per assembled triangle — the budget charge and
-            // the telemetry clock count the same unit, and the clock runs
-            // whether or not either consumer is attached.
-            self.tick += 1;
-            if let Some(tok) = &cancel {
-                tok.charge(1);
-                if tok.is_cancelled() {
-                    return Ok(());
-                }
-            }
-            let (i0, i1, i2) = primitive.triangle_indices(t);
-            let fetch = |gpu: &mut Gpu, pos: usize| -> Result<ShadedVertex, SimError> {
-                let idx = gpu.index_buffers[&index_buffer].indices.get(first as usize + pos);
-                gpu.fetch_vertex(vertex_buffer, idx, &vertex_program)
-            };
-            let v0 = fetch(self, i0)?;
-            let v1 = fetch(self, i1)?;
-            let v2 = fetch(self, i2)?;
-            self.frame.assembled += 1;
-
-            match clip_near(&[v0, v1, v2]) {
-                ClipResult::Rejected => {
-                    self.frame.clipped += 1;
-                }
-                ClipResult::Accepted => {
-                    self.setup_triangle(&[v0, v1, v2], &mut tris, true);
-                }
-                ClipResult::Clipped(clipped) => {
-                    for tri in &clipped {
-                        self.setup_triangle(tri, &mut tris, false);
-                    }
-                }
-            }
-        }
-
-        // Phase 2 — stripe-parallel fragment flush.
-        self.flush_draw(tris, &fragment_program, early_z_ok, hz_ok)?;
-        if let Some(t) = self.telemetry.as_mut() {
-            t.record_draw(draw_start, self.tick, tri_count as u64);
-        }
-        Ok(())
+        Ok(DrawPrep { vertex_program, fragment_program, early_z_ok, hz_ok })
     }
 
-    /// Sets up one post-clip triangle; survivors land in `tris` with the
-    /// stencil face state they selected.
-    fn setup_triangle(
+    fn draw(
         &mut self,
-        tri: &[ShadedVertex; 3],
-        tris: &mut Vec<(TriangleSetup, StencilState)>,
-        count_cull: bool,
-    ) {
-        let Some(setup) = TriangleSetup::new(tri, &self.viewport) else {
-            // Degenerate / zero-area: discarded at setup.
-            if count_cull {
-                self.frame.culled += 1;
-            }
-            return;
-        };
-        if setup.is_culled(self.cull, self.front_face) {
-            if count_cull {
-                self.frame.culled += 1;
-            }
-            return;
-        }
-        self.frame.traversed += 1;
-        let front_facing = setup.is_front_facing(self.front_face);
-        let stencil = if front_facing { self.stencil_front } else { self.stencil_back };
-        tris.push((setup, stencil));
-    }
-
-    /// Flushes one draw's fragment work across the stripes, then reduces
-    /// the per-stripe results deterministically (in stripe order).
-    fn flush_draw(
-        &mut self,
-        tris: Vec<(TriangleSetup, StencilState)>,
-        fragment_program: &Program,
-        early_z_ok: bool,
-        hz_ok: bool,
+        vertex_buffer: u32,
+        index_buffer: u32,
+        primitive: gwc_raster::PrimitiveType,
+        first: u32,
+        count: u32,
     ) -> Result<(), SimError> {
-        if tris.is_empty() {
+        let (Some(vp_id), Some(fp_id)) = (self.bound_vertex, self.bound_fragment) else {
+            return Ok(()); // no programs bound: draw is ignored
+        };
+        // A validation fault belongs to *this* command, but a deferred
+        // flush is older work: commit it first so its fault (if any) wins,
+        // matching the serial surfacing order.
+        let prep = match self.validate_draw(vertex_buffer, index_buffer, vp_id, fp_id, first, count)
+        {
+            Ok(prep) => prep,
+            Err(e) => {
+                self.drain_pending()?;
+                return Err(e);
+            }
+        };
+        let tri_count = primitive.triangle_count(count as usize);
+        let args = GeomArgs {
+            vertex_buffer,
+            index_buffer,
+            primitive,
+            first: first as usize,
+            tri_count,
+            program: prep.vertex_program,
+        };
+
+        // Phase 1 — chunk-parallel geometry, overlapped with the deferred
+        // draw's fragment flush when one is pending. A geometry fault
+        // aborts the draw before *any* fragment work, so the flush always
+        // sees a complete triangle list.
+        let out = match self.pending.take() {
+            Some(p) => {
+                let (res, out) = self.flush_pending(p, Some(&args));
+                // The older draw's fault wins; this draw's geometry is
+                // discarded with it (its statistics were never committed).
+                res?;
+                match out {
+                    Some(out) => out,
+                    None => return Ok(()), // unreachable: geometry was requested
+                }
+            }
+            None => {
+                let req = geom_request(
+                    &self.vertex_buffers,
+                    &self.index_buffers,
+                    &self.config,
+                    self.geom_threads,
+                    &self.vs_machine,
+                    self.setup_state(),
+                    self.cancel.as_ref(),
+                    &args,
+                );
+                geometry::run(&req)
+            }
+        };
+        if out.cancelled {
             return Ok(());
         }
-        // Detach the telemetry rings before other fields of `self` are
-        // borrowed into the jobs. Each stripe records into its own ring;
-        // they return through the outcomes and reattach in stripe order.
-        let trace_base = self.tick;
-        let mut trace_rings = self.telemetry.as_mut().and_then(Collector::take_stripe_rings);
-        let packet = DrawPacket {
-            tris,
-            program: fragment_program,
-            early_z_ok,
-            hz_ok,
+
+        // Commit geometry: work ticks, statistics, memory traffic and
+        // shader deltas, exactly as the serial loop accumulated them (the
+        // shard holds counts for precisely the prefix serial executed).
+        let draw_start = self.tick;
+        self.tick += out.ticks;
+        let geom_end = self.tick;
+        self.vcache.add_stats(out.shard.indices, out.shard.vcache_hits);
+        self.frame.indices += out.shard.indices;
+        self.frame.vcache_hits += out.shard.vcache_hits;
+        self.frame.shaded_vertices += out.shard.shaded_vertices;
+        self.frame.assembled += out.shard.assembled;
+        self.frame.clipped += out.shard.clipped;
+        self.frame.culled += out.shard.culled;
+        self.frame.traversed += out.shard.setup;
+        // One Vertex-client transaction per fetched vertex, as the serial
+        // streamer issued them.
+        let stride = self.vertex_buffers[&vertex_buffer].layout.stride_bytes as u64;
+        for _ in 0..out.shard.fetched_vertices {
+            self.mem.read(MemClient::Vertex, stride);
+        }
+        let mut vs_total = *self.vs_machine.stats();
+        vs_total.merge(&out.vs_delta);
+        self.vs_machine.restore_stats(vs_total);
+
+        if let Some(e) = out.error {
+            return Err(e);
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_geometry(draw_start, geom_end, out.shard.shaded_vertices, out.shard.setup);
+        }
+        if out.tris.is_empty() {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record_draw(draw_start, geom_end, tri_count as u64);
+            }
+            return Ok(());
+        }
+
+        // Phase 2 — stripe-parallel fragment flush: deferred one draw when
+        // the pipeline is live, synchronous otherwise.
+        let mut proto_fs = self.fs_machine.clone();
+        proto_fs.restore_stats(ExecStats::default());
+        let pending = PendingFlush {
+            tris: out.tris,
+            program: prep.fragment_program,
+            early_z_ok: prep.early_z_ok,
+            hz_ok: prep.hz_ok,
             depth_state: self.depth_state,
             blend: self.blend,
             color_mask: self.color_mask,
             alpha_test: self.alpha_test,
+            bindings: self.tex_bindings.clone(),
+            viewport: self.viewport,
+            proto_fs,
+            draw_start,
+            geom_end,
+            tri_count: tri_count as u64,
+        };
+        if self.pipeline_active() {
+            self.pending = Some(pending);
+            Ok(())
+        } else {
+            self.flush_pending(pending, None).0
+        }
+    }
+
+    /// The clip/cull/setup state a draw's geometry samples at kick time.
+    fn setup_state(&self) -> SetupState {
+        SetupState {
+            viewport: self.viewport,
+            cull: self.cull,
+            front_face: self.front_face,
+            stencil_front: self.stencil_front,
+            stencil_back: self.stencil_back,
+        }
+    }
+
+    /// Commits one draw's deferred fragment work across the stripes,
+    /// optionally overlapping the *next* draw's geometry on the main
+    /// thread, then reduces the per-stripe results deterministically (in
+    /// stripe order). Returns the flush result and the overlapped
+    /// geometry's output, if requested.
+    ///
+    /// The overlap is safe by disjointness: the stripe jobs mutably
+    /// borrow framebuffer bands and stripe units, while geometry reads
+    /// only resource tables, configuration and the vertex machine — and
+    /// it is deterministic by construction, so running it concurrently
+    /// with (or after, or without) the flush cannot change any result.
+    fn flush_pending(
+        &mut self,
+        p: PendingFlush,
+        geom: Option<&GeomArgs>,
+    ) -> (Result<(), SimError>, Option<GeomOutput>) {
+        let PendingFlush {
+            tris,
+            program,
+            early_z_ok,
+            hz_ok,
+            depth_state,
+            blend,
+            color_mask,
+            alpha_test,
+            bindings,
+            viewport,
+            proto_fs: proto,
+            draw_start,
+            geom_end,
+            tri_count,
+        } = p;
+        // Detach the telemetry rings before other fields of `self` are
+        // borrowed into the jobs. Each stripe records into its own ring;
+        // they return through the outcomes and reattach in stripe order.
+        // The trace timebase is the deferred draw's own geometry-end tick,
+        // not the current clock (which may already have advanced past it
+        // by the deferring command's tick), so spans are byte-identical to
+        // the synchronous flush.
+        let trace_base = geom_end;
+        let mut trace_rings = self.telemetry.as_mut().and_then(Collector::take_stripe_rings);
+        let packet = DrawPacket {
+            tris,
+            program: &program,
+            early_z_ok,
+            hz_ok,
+            depth_state,
+            blend,
+            color_mask,
+            alpha_test,
             width: self.config.width,
             height: self.config.height,
             z_compression: self.config.z_compression,
             color_compression: self.config.color_compression,
             zb_addr: self.zb_addr,
             cb_addr: self.cb_addr,
-            bindings: &self.tex_bindings,
+            bindings: &bindings,
             pool: &self.textures,
-            viewport: self.viewport,
+            viewport,
             cancel: self.cancel.as_ref(),
         };
-
-        // A private shader machine per stripe: master constants, zeroed
-        // statistics (per-stripe deltas merge back below).
-        let mut proto = self.fs_machine.clone();
-        proto.restore_stats(ExecStats::default());
+        let geom_req = geom.map(|a| {
+            geom_request(
+                &self.vertex_buffers,
+                &self.index_buffers,
+                &self.config,
+                self.geom_threads,
+                &self.vs_machine,
+                SetupState {
+                    viewport: self.viewport,
+                    cull: self.cull,
+                    front_face: self.front_face,
+                    stencil_front: self.stencil_front,
+                    stencil_back: self.stencil_back,
+                },
+                self.cancel.as_ref(),
+                a,
+            )
+        });
 
         let stripe_rows = self.config.stripe_rows;
         let height = self.config.height;
@@ -684,48 +901,57 @@ impl Gpu {
         }
 
         let workers = (self.threads as usize).min(jobs.len()).max(1);
-        let mut outcomes: Vec<StripeOutcome> = if workers == 1 {
-            // Serial path: the same per-stripe code, run inline in stripe
-            // order — parallel runs are bit-identical by construction.
-            jobs.into_iter()
-                .map(|mut job| {
-                    job.run(&packet);
-                    job.finish()
-                })
-                .collect()
-        } else {
-            // Interleaved assignment: worker w owns stripes w, w+W, … —
-            // purely a scheduling choice, invisible in the results.
-            let mut buckets: Vec<Vec<StripeJob<'_>>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, job) in jobs.into_iter().enumerate() {
-                buckets[i % workers].push(job);
-            }
-            std::thread::scope(|scope| {
-                let packet = &packet;
-                let handles: Vec<_> = buckets
+        let (mut outcomes, geom_out): (Vec<StripeOutcome>, Option<GeomOutput>) =
+            if workers == 1 && geom_req.is_none() {
+                // Serial path: the same per-stripe code, run inline in
+                // stripe order — parallel runs are bit-identical by
+                // construction.
+                let outcomes = jobs
                     .into_iter()
-                    .map(|bucket| {
-                        scope.spawn(move || {
-                            bucket
-                                .into_iter()
-                                .map(|mut job| {
-                                    job.run(packet);
-                                    job.finish()
-                                })
-                                .collect::<Vec<_>>()
-                        })
+                    .map(|mut job| {
+                        job.run(&packet);
+                        job.finish()
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| match h.join() {
-                        Ok(outcomes) => outcomes,
-                        Err(panic) => std::panic::resume_unwind(panic),
-                    })
-                    .collect()
-            })
-        };
+                (outcomes, None)
+            } else {
+                // Interleaved assignment: worker w owns stripes w, w+W, …
+                // — purely a scheduling choice, invisible in the results.
+                // With an overlap request, the stripes always go to worker
+                // threads (even one) so the main thread can run the next
+                // draw's geometry concurrently.
+                let mut buckets: Vec<Vec<StripeJob<'_>>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, job) in jobs.into_iter().enumerate() {
+                    buckets[i % workers].push(job);
+                }
+                std::thread::scope(|scope| {
+                    let packet = &packet;
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            scope.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|mut job| {
+                                        job.run(packet);
+                                        job.finish()
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    let geom_out = geom_req.as_ref().map(geometry::run);
+                    let outcomes = handles
+                        .into_iter()
+                        .flat_map(|h| match h.join() {
+                            Ok(outcomes) => outcomes,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        })
+                        .collect();
+                    (outcomes, geom_out)
+                })
+            };
         outcomes.sort_by_key(|o| o.index);
 
         // Deterministic reduction in stripe order: every merged quantity
@@ -769,12 +995,18 @@ impl Gpu {
         self.fs_machine.restore_stats(fs_total);
 
         if let Some(e) = fault {
-            return Err(e);
+            return (Err(e), geom_out);
         }
         if let Some((client, count)) = injected {
-            return Err(SimError::MemoryFault { client, count });
+            return (Err(SimError::MemoryFault { client, count }), geom_out);
         }
-        Ok(())
+        // The draw retires: its span runs from its own start tick to its
+        // geometry end plus this flush's fragment ticks — the exact value
+        // the serial clock showed at this point.
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_draw(draw_start, geom_end + frag_ticks, tri_count);
+        }
+        (Ok(()), geom_out)
     }
 
     fn clear(&mut self, mask: ClearMask, color: Vec4, depth: f32, stencil: u8) {
@@ -944,6 +1176,14 @@ impl Gpu {
 impl Gpu {
     /// Executes one command; classified faults bubble up as [`SimError`].
     fn execute(&mut self, command: &Command) -> Result<(), SimError> {
+        // Commit the deferred fragment flush before any command that
+        // observes its effects. A fault it surfaces here classifies this
+        // command as faulted — under the pipeline's strict-policy gate
+        // that is the only divergence from the synchronous path, and only
+        // on streams that fault during fragment work.
+        if Self::needs_drain(command) {
+            self.drain_pending()?;
+        }
         match command {
             Command::CreateVertexBuffer { id, layout, data } => {
                 let bytes = (data.len() / layout.attributes.max(1) as usize) as u64
@@ -1203,6 +1443,7 @@ impl Gpu {
             "checkpoints are only taken at frame boundaries"
         );
         debug_assert!(self.vcache.is_empty(), "vertex cache drains at frame boundaries");
+        debug_assert!(self.pending.is_none(), "draw pipeline drains at frame boundaries");
         debug_assert_eq!(self.vs_prev, *self.vs_machine.stats());
         debug_assert_eq!(self.fs_prev, *self.fs_machine.stats());
 

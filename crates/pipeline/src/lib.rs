@@ -35,6 +35,7 @@ mod colorbuffer;
 mod config;
 mod error;
 mod fragment;
+mod geometry;
 mod gpu;
 mod stats;
 mod streamer;

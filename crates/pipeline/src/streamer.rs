@@ -99,6 +99,15 @@ impl VertexCache {
         self.hits = 0;
         self.lookups = 0;
     }
+
+    /// Credits lookups and hits counted elsewhere. The chunked geometry
+    /// front end simulates this cache's FIFO on index tags alone (see
+    /// `geometry::plan`) and books the totals here so frame sampling and
+    /// hit-rate reporting are unchanged.
+    pub fn add_stats(&mut self, lookups: u64, hits: u64) {
+        self.lookups += lookups;
+        self.hits += hits;
+    }
 }
 
 #[cfg(test)]

@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+mod geom;
 mod histogram;
 mod running;
 mod series;
 mod table;
 
 pub use bandwidth::BandwidthCounter;
+pub use geom::GeomShard;
 pub use histogram::Histogram;
 pub use running::RunningStat;
 pub use series::{ascii_chart, TimeSeries};

@@ -5,14 +5,30 @@
 //! makes that reduction deterministic: merging shards in any grouping or
 //! order equals accumulating the same samples in a single stream.
 
-use gwc_stats::{BandwidthCounter, Histogram, RunningStat};
+use gwc_stats::{BandwidthCounter, GeomShard, Histogram, RunningStat};
 use proptest::prelude::*;
 
+/// Builds a `GeomShard` from ten raw counter samples in field order.
+fn geom_shard(v: &[u64]) -> GeomShard {
+    GeomShard {
+        indices: v[0],
+        vcache_hits: v[1],
+        fetched_vertices: v[2],
+        shaded_vertices: v[3],
+        vs_instructions: v[4],
+        vertex_bytes: v[5],
+        assembled: v[6],
+        clipped: v[7],
+        culled: v[8],
+        setup: v[9],
+    }
+}
+
 /// Splits `samples` into `shards` round-robin shards.
-fn shard<T: Copy>(samples: &[T], shards: usize) -> Vec<Vec<T>> {
+fn shard<T: Clone>(samples: &[T], shards: usize) -> Vec<Vec<T>> {
     let mut out = vec![Vec::new(); shards.max(1)];
-    for (i, &s) in samples.iter().enumerate() {
-        out[i % shards.max(1)].push(s);
+    for (i, s) in samples.iter().enumerate() {
+        out[i % shards.max(1)].push(s.clone());
     }
     out
 }
@@ -191,5 +207,81 @@ proptest! {
         let mut right = ka;
         right.merge(&bc);
         prop_assert_eq!(left, right);
+    }
+
+    /// GeomShard: all-integer state, so reducing per-chunk shards in fixed
+    /// chunk order equals accumulating every event in one serial stream —
+    /// the invariant that makes the parallel geometry front-end
+    /// bit-identical to serial for every chunk size and thread count.
+    #[test]
+    fn geom_shard_merge_matches_single_stream(
+        events in prop::collection::vec(
+            prop::collection::vec(0u64..10_000, 10), 0..300),
+        chunk in 1usize..9,
+    ) {
+        let mut serial = GeomShard::default();
+        for e in &events {
+            serial.merge(&geom_shard(e));
+        }
+        // Contiguous fixed-size chunks — exactly how the pipeline splits a
+        // draw — reduced left to right.
+        let chunks: Vec<GeomShard> = events
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = GeomShard::default();
+                for e in c {
+                    s.merge(&geom_shard(e));
+                }
+                s
+            })
+            .collect();
+        let mut fwd = GeomShard::default();
+        for s in &chunks {
+            fwd.merge(s);
+        }
+        prop_assert_eq!(fwd, serial);
+        // And round-robin sharding (a different chunking of the same
+        // events), reduced in reverse order, still lands on the same sums.
+        let parts: Vec<GeomShard> = shard(&events, chunk)
+            .iter()
+            .map(|c| {
+                let mut s = GeomShard::default();
+                for e in c {
+                    s.merge(&geom_shard(e));
+                }
+                s
+            })
+            .collect();
+        let mut rev = GeomShard::default();
+        for s in parts.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(rev, serial);
+    }
+
+    /// GeomShard merge is associative bit-for-bit with default() as the
+    /// identity.
+    #[test]
+    fn geom_shard_merge_associative_with_identity(
+        a in prop::collection::vec(0u64..1_000_000, 10),
+        b in prop::collection::vec(0u64..1_000_000, 10),
+        c in prop::collection::vec(0u64..1_000_000, 10),
+    ) {
+        let (sa, sb, sc) = (geom_shard(&a), geom_shard(&b), geom_shard(&c));
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+
+        let mut id = GeomShard::default();
+        id.merge(&sa);
+        prop_assert_eq!(id, sa);
+        let mut back = sa;
+        back.merge(&GeomShard::default());
+        prop_assert_eq!(back, sa);
     }
 }

@@ -15,7 +15,8 @@ use std::fmt::Write as _;
 const PID: u32 = 1;
 const TID_FRAMES: u32 = 0;
 const TID_CP: u32 = 1;
-const TID_STRIPE_BASE: u32 = 2;
+const TID_GEOM: u32 = 2;
+const TID_STRIPE_BASE: u32 = 3;
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -72,7 +73,8 @@ fn push_ring(out: &mut String, first: &mut bool, tid: u32, ring: &SpanRing) {
 /// Perfetto's UI and `chrome://tracing` both open). Work ticks are mapped
 /// onto the format's microsecond timestamps. Every span becomes a `B`/`E`
 /// pair on its own track: frames on track 0, command-processor events on
-/// track 1, and one track per stripe × pipeline stage after that, so no
+/// track 1, geometry front-end spans on track 2, and one track per
+/// stripe × pipeline stage after that, so no
 /// track ever nests or interleaves and timestamps are monotonic per track.
 /// Per-frame counters additionally become `C` (counter) events.
 pub fn chrome_json(c: &Collector) -> String {
@@ -96,6 +98,8 @@ pub fn chrome_json(c: &Collector) -> String {
     push_meta_event(&mut out, "thread_name", TID_FRAMES, "frames");
     out.push(',');
     push_meta_event(&mut out, "thread_name", TID_CP, "command-processor");
+    out.push(',');
+    push_meta_event(&mut out, "thread_name", TID_GEOM, "geometry");
     let tid_counters = TID_STRIPE_BASE + meta.stripes * STRIPE_STAGES.len() as u32;
     out.push(',');
     push_meta_event(&mut out, "thread_name", tid_counters, "frame-counters");
@@ -128,6 +132,7 @@ pub fn chrome_json(c: &Collector) -> String {
     let mut first = false; // metadata events already emitted
     push_ring(&mut out, &mut first, TID_FRAMES, c.frame_track());
     push_ring(&mut out, &mut first, TID_CP, c.cp_track());
+    push_ring(&mut out, &mut first, TID_GEOM, c.geom_track());
     // Fixed ascending stripe order — the same order stat shards merge in.
     for (stripe, ring) in c.stripe_tracks().iter().enumerate() {
         let base = TID_STRIPE_BASE + stripe as u32 * STRIPE_STAGES.len() as u32;
@@ -281,7 +286,7 @@ impl Writer {
 /// schema: scalar column names (count-prefixed) — self-describing
 /// frames: count, then per frame the scalar columns in schema order
 ///         followed by (read, written) u64 pairs per client
-/// rings:  count (frame + cp + stripes), then per ring dropped u64,
+/// rings:  count (frame + cp + geometry + stripes), then per ring dropped u64,
 ///         span count u32, spans as (stage u8, start, dur, arg0, arg1)
 /// crc32 u32 over every preceding byte
 /// ```
@@ -323,6 +328,7 @@ pub fn binary(c: &Collector) -> Vec<u8> {
 
     let rings: Vec<&SpanRing> = std::iter::once(c.frame_track())
         .chain(std::iter::once(c.cp_track()))
+        .chain(std::iter::once(c.geom_track()))
         .chain(c.stripe_tracks().iter())
         .collect();
     w.u32(rings.len() as u32);
@@ -461,8 +467,10 @@ pub fn validate_binary(bytes: &[u8]) -> Result<BinarySummary, String> {
         }
     }
     let ring_count = r.u32()?;
-    if ring_count != 2 + stripes {
-        return Err(format!("GWTB has {ring_count} rings for {stripes} stripes"));
+    if ring_count != 3 + stripes {
+        return Err(format!(
+            "GWTB has {ring_count} rings for {stripes} stripes (expected frame + cp + geometry + stripes)"
+        ));
     }
     let mut spans = 0u64;
     let mut dropped = 0u64;
@@ -505,6 +513,7 @@ mod tests {
         };
         let mut c = Collector::new(level, meta);
         c.record_command();
+        c.record_geometry(1, 9, 16, 12);
         c.record_draw(1, 40, 12);
         c.record_clear(41);
         if let Some(mut rings) = c.take_stripe_rings() {
@@ -539,8 +548,9 @@ mod tests {
         let c = sample_collector(Level::Spans);
         let json = chrome_json(&c);
         let summary = crate::validate::validate_chrome(&json).expect("validates");
-        // Frame + Draw + Clear + 3 stripe spans = 5 B/E pairs + 1 instant clear pair.
-        assert_eq!(summary.begin_events, 6);
+        // Frame + Geometry + Draw + Clear + 3 stripe spans = 7 B/E pairs
+        // (the clear is an instant pair too).
+        assert_eq!(summary.begin_events, 7);
         assert!(summary.counter_events >= 2);
         assert!(json.contains("\"thread_name\""));
     }
@@ -576,7 +586,7 @@ mod tests {
         let summary = validate_binary(&blob).expect("validates");
         assert_eq!(summary.game, "Test/demo");
         assert_eq!(summary.frames, 1);
-        assert_eq!(summary.spans, 6);
+        assert_eq!(summary.spans, 7);
         assert_eq!(summary.dropped, 0);
 
         let mut bad = blob.clone();

@@ -81,6 +81,9 @@ pub enum Stage {
     Draw,
     /// One clear, on the command-processor track (zero duration).
     Clear,
+    /// One draw's geometry front end (vertex shading through triangle
+    /// setup), on the dedicated geometry track.
+    Geometry,
     /// Triangle traversal / fragment generation inside one stripe.
     Raster,
     /// Hierarchical-Z quad rejection inside one stripe.
@@ -109,6 +112,9 @@ impl Stage {
             Stage::ZStencil => 5,
             Stage::Shade => 6,
             Stage::Blend => 7,
+            // Appended after the stripe stages so existing tags (and the
+            // binary traces that embed them) keep their values.
+            Stage::Geometry => 8,
         }
     }
 
@@ -123,6 +129,7 @@ impl Stage {
             5 => Stage::ZStencil,
             6 => Stage::Shade,
             7 => Stage::Blend,
+            8 => Stage::Geometry,
             _ => return None,
         })
     }
@@ -138,6 +145,7 @@ impl Stage {
             Stage::ZStencil => "ZStencil",
             Stage::Shade => "Shade",
             Stage::Blend => "Blend",
+            Stage::Geometry => "Geometry",
         }
     }
 
@@ -428,6 +436,7 @@ pub struct Collector {
     frames: Vec<FrameSample>,
     frame_track: SpanRing,
     cp_track: SpanRing,
+    geom_track: SpanRing,
     stripe_tracks: Vec<SpanRing>,
     frame_start_tick: u64,
     draws_this_frame: u64,
@@ -447,6 +456,7 @@ impl Collector {
             level,
             frame_track: SpanRing::new(cap),
             cp_track: SpanRing::new(cap),
+            geom_track: SpanRing::new(cap),
             stripe_tracks: (0..meta.stripes).map(|_| SpanRing::new(cap)).collect(),
             meta,
             counters: StageCounters::default(),
@@ -497,6 +507,11 @@ impl Collector {
         &self.cp_track
     }
 
+    /// The geometry track ring.
+    pub fn geom_track(&self) -> &SpanRing {
+        &self.geom_track
+    }
+
     /// The per-stripe rings, ascending stripe order.
     pub fn stripe_tracks(&self) -> &[SpanRing] {
         &self.stripe_tracks
@@ -506,6 +521,7 @@ impl Collector {
     pub fn spans_dropped(&self) -> u64 {
         self.frame_track.dropped()
             + self.cp_track.dropped()
+            + self.geom_track.dropped()
             + self.stripe_tracks.iter().map(SpanRing::dropped).sum::<u64>()
     }
 
@@ -513,6 +529,7 @@ impl Collector {
     pub fn spans_recorded(&self) -> usize {
         self.frame_track.len()
             + self.cp_track.len()
+            + self.geom_track.len()
             + self.stripe_tracks.iter().map(SpanRing::len).sum::<usize>()
     }
 
@@ -547,6 +564,23 @@ impl Collector {
                 arg1: 0,
             });
         }
+    }
+
+    /// Records one draw's geometry front end spanning `[start, end)` work
+    /// ticks: vertex shading through triangle setup, on the dedicated
+    /// geometry track. `shaded` and `setup` carry the draw's shaded-vertex
+    /// and surviving-triangle counts as span args.
+    pub fn record_geometry(&mut self, start: u64, end: u64, shaded: u64, setup: u64) {
+        if self.level != Level::Spans {
+            return;
+        }
+        self.geom_track.push(SpanEvent {
+            stage: Stage::Geometry,
+            start,
+            dur: end - start,
+            arg0: shaded,
+            arg1: setup,
+        });
     }
 
     /// Records a clear at `tick`.
@@ -657,6 +691,7 @@ mod tests {
             Stage::ZStencil,
             Stage::Shade,
             Stage::Blend,
+            Stage::Geometry,
         ] {
             assert_eq!(Stage::from_tag(stage.tag()), Some(stage));
         }
@@ -693,6 +728,7 @@ mod tests {
         let mut c = Collector::new(Level::Off, meta(3, 16));
         c.record_command();
         c.record_draw(0, 10, 5);
+        c.record_geometry(0, 4, 3, 2);
         c.record_clear(11);
         c.end_frame(20, FrameSample::default());
         assert_eq!(c.counters(), &StageCounters::default());
@@ -747,6 +783,22 @@ mod tests {
         c.restore_stripe_rings(rings);
         assert_eq!(c.stripe_tracks()[1].len(), 1);
         assert_eq!(c.spans_recorded(), 1);
+    }
+
+    #[test]
+    fn geometry_spans_land_on_their_own_track() {
+        let mut c = Collector::new(Level::Spans, meta(1, 8));
+        c.record_geometry(10, 25, 40, 12);
+        let spans: Vec<&SpanEvent> = c.geom_track().iter().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, Stage::Geometry);
+        assert_eq!((spans[0].start, spans[0].dur), (10, 15));
+        assert_eq!((spans[0].arg0, spans[0].arg1), (40, 12));
+        assert_eq!(c.spans_recorded(), 1);
+
+        let mut counters_only = Collector::new(Level::Counters, meta(1, 8));
+        counters_only.record_geometry(10, 25, 40, 12);
+        assert_eq!(counters_only.spans_recorded(), 0);
     }
 
     #[test]

@@ -255,6 +255,139 @@ fn resumed_tail_traces_are_bit_identical() {
     }
 }
 
+// ---- geometry front-end determinism -----------------------------------
+
+fn geom_config(
+    width: u32,
+    height: u32,
+    geom_threads: u32,
+    frag_threads: u32,
+    chunk: u32,
+    pipeline: bool,
+) -> GpuConfig {
+    let mut config = config_with_threads(width, height, frag_threads);
+    config.stripe_rows = 16;
+    config.geometry_threads = geom_threads;
+    config.geometry_chunk = chunk;
+    config.frame_pipeline = pipeline;
+    config
+}
+
+/// Replays `trace` under an explicit geometry configuration.
+fn run_geom(
+    trace: &Trace,
+    width: u32,
+    height: u32,
+    geom_threads: u32,
+    frag_threads: u32,
+    chunk: u32,
+    pipeline: bool,
+) -> Gpu {
+    let mut gpu = Gpu::new(geom_config(width, height, geom_threads, frag_threads, chunk, pipeline));
+    assert_eq!(gpu.geometry_threads(), geom_threads, "explicit geometry thread count wins");
+    trace.replay(&mut gpu);
+    gpu
+}
+
+/// The chunked geometry front end is bit-identical to the serial path for
+/// every point of the geometry-threads × fragment-threads × chunk-size
+/// matrix. The full 16-point matrix is spread round-robin across the
+/// twelve game profiles (each combo lands on a different profile, every
+/// profile is exercised), because chunk partitioning is fixed by
+/// `geometry_chunk` — never by who executes the chunks.
+#[test]
+fn geometry_thread_matrix_is_bit_identical() {
+    let profiles = GameProfile::all();
+    let mut traces: Vec<Option<(Trace, Gpu)>> = (0..profiles.len()).map(|_| None).collect();
+    let mut combos = Vec::new();
+    for geom_threads in [1, 2, 4, 8] {
+        for frag_threads in [1, 4] {
+            for chunk in [16, 64] {
+                combos.push((geom_threads, frag_threads, chunk));
+            }
+        }
+    }
+    for (i, (geom_threads, frag_threads, chunk)) in combos.into_iter().enumerate() {
+        let slot = i % profiles.len();
+        let name = profiles[slot].name;
+        if traces[slot].is_none() {
+            let trace = record(name, 2);
+            // Reference: serial geometry, serial fragments, default chunk.
+            let serial = run_geom(&trace, 64, 48, 1, 1, 64, false);
+            traces[slot] = Some((trace, serial));
+        }
+        let (trace, serial) = traces[slot].as_ref().unwrap();
+        let parallel = run_geom(trace, 64, 48, geom_threads, frag_threads, chunk, false);
+        let tag = format!("{name}: geom={geom_threads} frag={frag_threads} chunk={chunk}");
+        assert_eq!(serial.stats(), parallel.stats(), "{tag}: SimStats drifted");
+        assert_eq!(serial.framebuffer_crc(), parallel.framebuffer_crc(), "{tag}: framebuffer");
+        assert_eq!(serial.save_checkpoint(), parallel.save_checkpoint(), "{tag}: checkpoint");
+    }
+}
+
+/// Frame pipelining (draw N+1's geometry overlapped with draw N's
+/// rasterization) changes scheduling only: statistics, framebuffer bytes,
+/// checkpoint blobs, and every exported trace artifact are byte-identical
+/// to the unpipelined path.
+#[test]
+fn pipelined_frames_match_serial_bytes() {
+    for name in ["Doom3/trdemo2", "Riddick/PrisonArea"] {
+        let trace = record(name, 3);
+
+        let mut bare = Gpu::new(geom_config(96, 72, 1, 1, 64, false));
+        bare.enable_telemetry(Level::Spans, "pipeline-test", 256);
+        trace.replay(&mut bare);
+        let reference_chk = bare.save_checkpoint();
+        let serial = bare.take_telemetry().expect("collector attached");
+        let reference_bin = export::binary(&serial);
+        let reference_json = export::chrome_json(&serial);
+
+        for (geom_threads, frag_threads) in [(1, 1), (2, 4), (8, 2)] {
+            let mut gpu = Gpu::new(geom_config(96, 72, geom_threads, frag_threads, 64, true));
+            gpu.enable_telemetry(Level::Spans, "pipeline-test", 256);
+            trace.replay(&mut gpu);
+            let tag = format!("{name}: pipelined geom={geom_threads} frag={frag_threads}");
+            assert_eq!(bare.stats(), gpu.stats(), "{tag}: SimStats drifted");
+            assert_eq!(bare.framebuffer_crc(), gpu.framebuffer_crc(), "{tag}: framebuffer");
+            assert_eq!(reference_chk, gpu.save_checkpoint(), "{tag}: checkpoint bytes");
+            let piped = gpu.take_telemetry().expect("collector attached");
+            assert_eq!(reference_json, export::chrome_json(&piped), "{tag}: Chrome JSON");
+            assert_eq!(reference_bin, export::binary(&piped), "{tag}: GWTB bytes");
+        }
+    }
+}
+
+/// A checkpoint taken mid-run under pipelining restores into any other
+/// geometry/fragment thread count — pipelined or not — and the tail
+/// replays bit-identically. The pipeline drains at frame boundaries, so
+/// the blob never contains in-flight work.
+#[test]
+fn pipelined_checkpoint_resumes_across_thread_counts() {
+    let trace = record("Quake4/demo4", 4);
+    let serial = run_geom(&trace, 96, 72, 1, 1, 64, false);
+    let reference = serial.save_checkpoint();
+
+    for (head_gt, head_ft, tail_gt, tail_ft, tail_pipe) in
+        [(4, 2, 1, 1, false), (2, 4, 8, 1, true), (8, 1, 2, 4, true)]
+    {
+        let mut head = Gpu::new(geom_config(96, 72, head_gt, head_ft, 64, true));
+        trace.replay_frames(2, &mut head);
+        let blob = head.save_checkpoint();
+        drop(head);
+
+        let mut tail =
+            Gpu::restore_checkpoint(geom_config(96, 72, tail_gt, tail_ft, 64, tail_pipe), &blob)
+                .expect("geometry thread count is not part of the persistent state");
+        trace.replay_from(2, &mut tail);
+        let tag = format!(
+            "head geom={head_gt}/frag={head_ft} piped, tail geom={tail_gt}/frag={tail_ft} pipe={tail_pipe}"
+        );
+        assert_eq!(serial.stats(), tail.stats(), "{tag}: SimStats drifted");
+        assert_eq!(serial.framebuffer_crc(), tail.framebuffer_crc(), "{tag}: framebuffer");
+        assert_eq!(reference, tail.save_checkpoint(), "{tag}: checkpoint bytes");
+    }
+}
+
 /// The stripe layout *is* persistent state: restoring a checkpoint under a
 /// different `stripe_rows` would scatter the per-stripe caches across the
 /// wrong framebuffer bands, so it must be refused, not guessed at.

@@ -39,6 +39,11 @@ struct Golden {
     overdraw: [f64; 4],
     /// Fig 5: post-transform vertex cache hit rate.
     vcache_hit: f64,
+    /// Geometry front-end counters, pinned *exactly* (they are integer
+    /// sums, so even off-by-one drift is a behavioural change): indices
+    /// fetched, vertex-cache hits, vertices shaded, triangles assembled,
+    /// clipped, culled, and traversed (setup).
+    geometry: [u64; 7],
     /// Table XIII: dynamic bilinear samples per texture request.
     bilinears_per_request: f64,
     /// Table XVI: Z&stencil / texture / color shares of memory traffic.
@@ -56,6 +61,7 @@ const GOLDEN: &[Golden] = &[
         quad_fates: [0.405112, 0.106981, 0.0, 0.315039, 0.172868],
         overdraw: [28.649068, 18.104438, 4.294468, 4.294468],
         vcache_hit: 0.645677,
+        geometry: [435264, 281040, 154224, 145088, 50936, 36100, 58052],
         bilinears_per_request: 3.097169,
         bw_split: [0.134570, 0.282486, 0.120844],
     },
@@ -65,6 +71,7 @@ const GOLDEN: &[Golden] = &[
         quad_fates: [0.358502, 0.137876, 0.0, 0.310864, 0.192757],
         overdraw: [24.883247, 16.711046, 4.209947, 4.209947],
         vcache_hit: 0.626947,
+        geometry: [524880, 329072, 195808, 174960, 87044, 46536, 41380],
         bilinears_per_request: 3.081482,
         bw_split: [0.114038, 0.232140, 0.105491],
     },
@@ -74,6 +81,7 @@ const GOLDEN: &[Golden] = &[
         quad_fates: [0.492879, 0.099756, 0.0, 0.0, 0.407365],
         overdraw: [6.861518, 3.337836, 2.642314, 2.642314],
         vcache_hit: 0.634301,
+        geometry: [797940, 506134, 291806, 265980, 103955, 77097, 84928],
         bilinears_per_request: 1.935588,
         bw_split: [0.039255, 0.093050, 0.085995],
     },
@@ -98,6 +106,13 @@ impl Report {
             self.lines.push(format!(
                 "{demo}: {metric}: expected {expected:.6} ± {tol:.6}, measured {actual:.6}"
             ));
+        }
+    }
+
+    fn check_exact(&mut self, demo: &str, metric: &str, expected: u64, actual: u64) {
+        if actual != expected {
+            self.lines
+                .push(format!("{demo}: {metric}: expected exactly {expected}, measured {actual}"));
         }
     }
 }
@@ -141,6 +156,17 @@ fn golden_tables_hold() {
         }
 
         report.check(golden.demo, "fig5/vcache_hit", golden.vcache_hit, t.vertex_cache_hit_rate());
+        for (name, expected, actual) in [
+            ("geometry/indices", golden.geometry[0], t.indices),
+            ("geometry/vcache_hits", golden.geometry[1], t.vcache_hits),
+            ("geometry/shaded_vertices", golden.geometry[2], t.shaded_vertices),
+            ("geometry/assembled", golden.geometry[3], t.assembled),
+            ("geometry/clipped", golden.geometry[4], t.clipped),
+            ("geometry/culled", golden.geometry[5], t.culled),
+            ("geometry/traversed", golden.geometry[6], t.traversed),
+        ] {
+            report.check_exact(golden.demo, name, expected, actual);
+        }
         report.check(
             golden.demo,
             "table13/bilinears_per_request",
