@@ -279,7 +279,7 @@ pub fn replay_job(
             // the round trip before advertising the pointer.
             Gpu::restore_checkpoint(gpu_config, &blob)
                 .map_err(|e| JobError::Failed(format!("checkpoint verify failed: {e}")))?;
-            std::fs::write(path, &blob)
+            gwc_failpoints::write_file("gwck.write", std::path::Path::new(path), &blob)
                 .map_err(|e| JobError::Failed(format!("cannot write checkpoint {path}: {e}")))?;
             let _ = writeln!(out, "checkpoint: {} bytes, restore verified", blob.len());
             Some(path.to_owned())

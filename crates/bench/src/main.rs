@@ -13,6 +13,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+mod torture;
+
 use gwc_api::CommandSink;
 use gwc_core::{figures, tables, RunConfig, Study};
 use gwc_harness::{
@@ -61,6 +63,14 @@ experiments:
                        response (see --addr, --game, --kind, --wait)
   status               query a running daemon: overall /stats, or one job
                        by --hash
+  torture              crash-test every durability boundary: for each
+                       registered failpoint site, run a child daemon /
+                       campaign / replay with that site armed (fail, torn
+                       write, or abort exactly there), restart, and assert
+                       the recovery invariants — no acked job lost, no
+                       double-run, artifacts bit-identical or explicitly
+                       demoted, manifest always parseable, lock never
+                       wedged; report written to <dir>/torture-report.txt
 
 options:
   --threads N          fragment-pipeline worker threads (default: the
@@ -135,12 +145,34 @@ serve / submit / status options:
   --wait               submit: poll until the job finishes, print its
                        terminal entry, and exit by its outcome
   --hash HEX           status: show one job by its 16-hex content hash
+  --drain-timeout-ms N serve: graceful-drain deadline; when it expires
+                       with a job still running the daemon forces exit 3
+                       (a second SIGTERM/SIGINT forces it immediately;
+                       default 600000)
+  --wal-rotate-bytes N serve: journal size that triggers compacting
+                       rotation (default 262144)
+
+torture options (fault injection):
+  --all                torture: crash-test every registered site (default
+                       when no --site is given)
+  --site NAME          torture: test one site; repeatable
+  --list               torture: list the registered failpoint sites
+  --matrix             torture: print the durability matrix (site x
+                       guarantee x recovery) as markdown and exit
+  GWC_FAILPOINTS       arm failpoints in *this* process directly:
+                       \"site=action[@N][%P];...\" with actions eio,
+                       enospc, short, torn, abort, hang (the torture
+                       runner sets this for its children); seeded by
+                       GWC_FAILPOINTS_SEED
   --help, -h           print this usage and exit 0
 
 exit status: 0 all experiments succeeded (for 'serve': a clean drain);
 1 at least one supervised job ended timed-out, panicked, or skipped (or a
-campaign was interrupted, or the daemon fail-stopped on a journal error);
-2 malformed invocation or unusable input file";
+campaign was interrupted, or the daemon fail-stopped on a journal error,
+or a torture scenario failed its recovery invariant);
+2 malformed invocation or unusable input file;
+3 (serve) a forced drain abandoned a hung job after the drain deadline or
+a second SIGTERM";
 
 fn help() -> ! {
     println!("{USAGE}");
@@ -185,6 +217,12 @@ struct Options {
     kind: gwc_harness::Experiment,
     wait: bool,
     hash: Option<String>,
+    drain_timeout_ms: u64,
+    wal_rotate_bytes: u64,
+    torture_sites: Vec<String>,
+    torture_all: bool,
+    torture_list: bool,
+    torture_matrix: bool,
 }
 
 impl Options {
@@ -197,13 +235,13 @@ impl Options {
 
 /// The experiment vocabulary, for unknown-experiment diagnostics.
 const KNOWN_EXPERIMENTS: &str =
-    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace, serve, submit, status";
+    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace, serve, submit, status, torture";
 
 fn is_experiment_name(s: &str) -> bool {
     matches!(
         s,
         "all" | "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
-            | "status"
+            | "status" | "torture"
     ) || s.starts_with("table")
         || s.starts_with("fig")
 }
@@ -239,6 +277,12 @@ fn parse_args() -> Options {
     let mut kind = gwc_harness::Experiment::Characterize;
     let mut wait = false;
     let mut hash = None;
+    let mut drain_timeout_ms = 600_000u64;
+    let mut wal_rotate_bytes = 256 * 1024u64;
+    let mut torture_sites = Vec::new();
+    let mut torture_all = false;
+    let mut torture_list = false;
+    let mut torture_matrix = false;
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -347,6 +391,28 @@ fn parse_args() -> Options {
             }
             "--wait" => wait = true,
             "--hash" => hash = Some(value(&mut args, &arg)),
+            "--drain-timeout-ms" => {
+                let n: u64 = parse(&arg, value(&mut args, &arg), "a positive millisecond count");
+                if n == 0 {
+                    bad_arg("invalid value '0' for '--drain-timeout-ms' (expected a positive millisecond count)".into());
+                }
+                drain_timeout_ms = n;
+            }
+            "--wal-rotate-bytes" => {
+                wal_rotate_bytes = parse(&arg, value(&mut args, &arg), "a byte count")
+            }
+            "--site" => {
+                let v = value(&mut args, &arg);
+                if gwc_failpoints::site(&v).is_none() {
+                    bad_arg(format!(
+                        "invalid value '{v}' for '--site' (run 'repro torture --list' for the registered sites)"
+                    ));
+                }
+                torture_sites.push(v);
+            }
+            "--all" => torture_all = true,
+            "--list" => torture_list = true,
+            "--matrix" => torture_matrix = true,
             "--help" | "-h" => help(),
             e if e.starts_with('-') => bad_arg(format!("unknown option '{e}'")),
             e if is_experiment_name(e) => experiments.push(e.to_string()),
@@ -392,6 +458,12 @@ fn parse_args() -> Options {
         kind,
         wait,
         hash,
+        drain_timeout_ms,
+        wal_rotate_bytes,
+        torture_sites,
+        torture_all,
+        torture_list,
+        torture_matrix,
     }
 }
 
@@ -800,7 +872,8 @@ fn run_replay(options: &Options) {
                 if frame % every as usize == 0 && frame < frames as usize {
                     let path = format!("repro-{file_stem}-frame{frame}.gwck");
                     let blob = gpu.save_checkpoint();
-                    match std::fs::write(&path, &blob) {
+                    match gwc_failpoints::write_file("gwck.write", std::path::Path::new(&path), &blob)
+                    {
                         Ok(()) => eprintln!("checkpoint: {path} ({} bytes)", blob.len()),
                         Err(e) => {
                             eprintln!("repro: cannot write checkpoint {path}: {e}");
@@ -1033,10 +1106,15 @@ fn run_serve(options: &Options) -> bool {
             breaker_threshold: options.breaker,
             ..Default::default()
         },
+        wal_rotate_bytes: options.wal_rotate_bytes,
+        drain_timeout: Duration::from_millis(options.drain_timeout_ms),
         ..Default::default()
     };
     match gwc_server::run(&cfg, supervisor) {
-        Ok(code) => code == 0,
+        Ok(0) => true,
+        // Distinct nonzero drain codes (1 fail-stop, 3 forced drain) are
+        // contract surface: propagate them verbatim, not as a generic 1.
+        Ok(code) => std::process::exit(code),
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
             // The data directory is locked by another live process; that
             // is a usage error, and the message names the holder.
@@ -1136,13 +1214,18 @@ fn run_status(options: &Options) -> bool {
 }
 
 fn main() {
+    // Arm failpoints from the environment before anything touches disk;
+    // a malformed spec is a usage error, not something to half-honor.
+    if let Err(e) = gwc_failpoints::arm_from_env() {
+        bad_arg(format!("GWC_FAILPOINTS: {e}"));
+    }
     let options = parse_args();
     let mut all_ok = true;
     let needs_study = options.experiments.iter().any(|e| {
         !matches!(
             e.as_str(),
             "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
-                | "status"
+                | "status" | "torture"
         )
     });
     let study = if needs_study {
@@ -1162,6 +1245,7 @@ fn main() {
             "serve" => all_ok &= run_serve(&options),
             "submit" => all_ok &= run_submit(&options),
             "status" => all_ok &= run_status(&options),
+            "torture" => all_ok &= torture::run(&options),
             _ => {
                 let study = study.as_ref().expect("study built for table/figure experiments");
                 if !run_experiment(study, experiment, options.csv) {

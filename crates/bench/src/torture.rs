@@ -1,0 +1,953 @@
+//! `repro torture` — the crash-consistency harness over every
+//! registered failpoint site.
+//!
+//! For each site in [`gwc_failpoints::SITES`] the runner spawns a child
+//! `repro` (daemon, campaign, or replay) with that site armed via
+//! `GWC_FAILPOINTS`, fails or crashes it exactly there, restarts, and
+//! asserts the recovery invariants the site registry promises: no
+//! acknowledged job lost, no double-run (journaled start counts),
+//! artifacts bit-identical to an uninterrupted reference or explicitly
+//! demoted, the manifest always parseable, the directory lock never
+//! wedged. Reference runs (a clean daemon pass, a clean campaign) are
+//! computed once and shared across scenarios.
+//!
+//! Scratch state lives in `<dir>/t-<tag>` per scenario — removed on
+//! pass, kept for post-mortem on failure — and the verdict is written
+//! to `<dir>/torture-report.txt`.
+
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gwc_failpoints::SITES;
+use gwc_harness::json::{parse as parse_json, Json};
+use gwc_server::client::{exchange, ClientResponse};
+
+/// One torture scenario: a site, the arming spec, and the invariant
+/// check. Several sites carry more than one scenario (e.g. `eio` and
+/// `torn` shapes of the same append).
+struct Scenario {
+    site: &'static str,
+    /// Directory/report slug, unique across scenarios.
+    tag: &'static str,
+    what: &'static str,
+    run: fn(&mut Ctx, &Path) -> Result<(), String>,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        site: "wal.append.write",
+        tag: "append-write-eio",
+        what: "EIO on the done-record write: fail-stop, restart re-runs to reference bytes",
+        run: |ctx, dir| serve_crash_recovers(ctx, dir, "wal.append.write=eio@3", Expect::Code(1), &[1, 2]),
+    },
+    Scenario {
+        site: "wal.append.write",
+        tag: "append-write-torn",
+        what: "torn done record: fail-stop, restart repairs the tail and re-runs",
+        run: |ctx, dir| serve_crash_recovers(ctx, dir, "wal.append.write=torn@3", Expect::Code(1), &[2]),
+    },
+    Scenario {
+        site: "wal.append.fsync",
+        tag: "append-fsync-eio",
+        what: "EIO on the done-record fsync: fail-stop, restart replays the valid prefix",
+        run: |ctx, dir| serve_crash_recovers(ctx, dir, "wal.append.fsync=eio@3", Expect::Code(1), &[1, 2]),
+    },
+    Scenario {
+        site: "wal.open.truncate",
+        tag: "open-truncate-eio",
+        what: "EIO repairing a torn tail at boot: boot fails typed, the next boot repairs",
+        run: open_truncate_scenario,
+    },
+    Scenario {
+        site: "wal.rotate.write",
+        tag: "rotate-write-eio",
+        what: "EIO writing the compacted journal: non-fatal, old journal keeps serving",
+        run: |ctx, dir| rotation_failure_nonfatal(ctx, dir, "wal.rotate.write=eio@1"),
+    },
+    Scenario {
+        site: "wal.rotate.fsync",
+        tag: "rotate-fsync-eio",
+        what: "EIO fsyncing the compacted journal: non-fatal, old journal keeps serving",
+        run: |ctx, dir| rotation_failure_nonfatal(ctx, dir, "wal.rotate.fsync=eio@1"),
+    },
+    Scenario {
+        site: "wal.rotate.rename",
+        tag: "rotate-rename-eio",
+        what: "EIO on the rotation swap: non-fatal, old journal keeps serving",
+        run: |ctx, dir| rotation_failure_nonfatal(ctx, dir, "wal.rotate.rename=eio@1"),
+    },
+    Scenario {
+        site: "wal.rotate.dirsync",
+        tag: "rotate-dirsync-eio",
+        what: "EIO making the rotation swap durable: fail-stop, rotated journal replays done",
+        run: rotate_dirsync_scenario,
+    },
+    Scenario {
+        site: "manifest.write",
+        tag: "manifest-write-eio",
+        what: "EIO writing campaign.json: exit 2, prior manifest intact, --resume converges",
+        run: |ctx, dir| manifest_failure_resumes(ctx, dir, "manifest.write=eio@2", Expect::Code(2)),
+    },
+    Scenario {
+        site: "manifest.fsync",
+        tag: "manifest-fsync-eio",
+        what: "EIO fsyncing campaign.json: exit 2, prior manifest intact, --resume converges",
+        run: |ctx, dir| manifest_failure_resumes(ctx, dir, "manifest.fsync=eio@2", Expect::Code(2)),
+    },
+    Scenario {
+        site: "manifest.rename",
+        tag: "manifest-rename-abort",
+        what: "crash at the manifest swap: prior manifest intact, --resume converges",
+        run: |ctx, dir| manifest_failure_resumes(ctx, dir, "manifest.rename=abort@2", Expect::Killed),
+    },
+    Scenario {
+        site: "manifest.dirsync",
+        tag: "manifest-dirsync-eio",
+        what: "EIO on the manifest directory fsync: exit 2, manifest parseable, --resume converges",
+        run: |ctx, dir| manifest_failure_resumes(ctx, dir, "manifest.dirsync=eio@2", Expect::Code(2)),
+    },
+    Scenario {
+        site: "artifact.write",
+        tag: "artifact-enospc",
+        what: "ENOSPC persisting an artifact: typed demotion, the daemon stays up",
+        run: artifact_demotion_scenario,
+    },
+    Scenario {
+        site: "gwck.write",
+        tag: "gwck-torn",
+        what: "torn checkpoint: the write fails (exit 1) and --resume rejects the file typed (exit 2)",
+        run: gwck_torn_scenario,
+    },
+    Scenario {
+        site: "lock.acquire",
+        tag: "lock-acquire-eio",
+        what: "EIO acquiring the DirLock: typed exit 2, a retry acquires",
+        run: lock_acquire_scenario,
+    },
+    Scenario {
+        site: "lock.acquired",
+        tag: "lock-held-abort",
+        what: "crash while holding the DirLock: the next acquire succeeds (never wedged)",
+        run: lock_held_abort_scenario,
+    },
+    Scenario {
+        site: "serve.job.run",
+        tag: "job-abort",
+        what: "abort between journaled start and execution: restart re-runs to reference bytes",
+        run: |ctx, dir| serve_crash_recovers(ctx, dir, "serve.job.run=abort@1", Expect::Killed, &[2]),
+    },
+    Scenario {
+        site: "serve.job.run",
+        tag: "job-hang-signal",
+        what: "hung job: a second SIGTERM forces exit 3, restart re-runs to reference bytes",
+        run: |ctx, dir| hang_forced_drain(ctx, dir, HangEscalation::SecondSignal),
+    },
+    Scenario {
+        site: "serve.job.run",
+        tag: "job-hang-deadline",
+        what: "hung job: the --drain-timeout-ms deadline forces exit 3, restart re-runs",
+        run: |ctx, dir| hang_forced_drain(ctx, dir, HangEscalation::Deadline),
+    },
+];
+
+/// What shape of exit a faulted child should have.
+#[derive(Clone, Copy)]
+enum Expect {
+    Code(i32),
+    /// Killed by a signal (abort): no exit code at all, or 128+SIGABRT
+    /// on platforms that report it as a code.
+    Killed,
+}
+
+impl Expect {
+    fn check(self, code: Option<i32>, what: &str) -> Result<(), String> {
+        match (self, code) {
+            (Expect::Code(want), Some(got)) if got == want => Ok(()),
+            (Expect::Killed, None) => Ok(()),
+            (Expect::Killed, Some(134)) => Ok(()),
+            (Expect::Code(want), got) => {
+                Err(format!("{what}: expected exit {want}, got {got:?}"))
+            }
+            (Expect::Killed, got) => {
+                Err(format!("{what}: expected death by signal, got {got:?}"))
+            }
+        }
+    }
+}
+
+/// Shared state across scenarios: the `repro` binary under test and the
+/// lazily computed clean-run references.
+struct Ctx {
+    exe: PathBuf,
+    base: PathBuf,
+    serve_ref: Option<ServeRef>,
+    campaign_ref: Option<Vec<u8>>,
+}
+
+/// The uninterrupted daemon pass every crash scenario converges to.
+#[derive(Clone)]
+struct ServeRef {
+    hash: String,
+    artifact: Vec<u8>,
+}
+
+/// A tiny but real job — the same spec for every serve scenario, so the
+/// reference artifact is computed once.
+fn job_body() -> String {
+    r#"{"game": "Doom3/trdemo2", "rung": "quick",
+        "config": {"seed": 77, "api_frames": 20, "sim_frames": 2,
+                   "width": 96, "height": 72}}"#
+        .to_string()
+}
+
+/// The fixed tiny campaign every manifest/lock scenario runs; config is
+/// pinned here (not taken from the CLI) so the reference report matches.
+fn campaign_args(dir: &Path, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> =
+        ["campaign", "--dir"].iter().map(|s| (*s).to_string()).collect();
+    args.push(dir.display().to_string());
+    for s in ["--api-frames", "2", "--sim-frames", "1", "--res", "48x36", "--backoff-ms", "1"] {
+        args.push(s.to_string());
+    }
+    args.extend(extra.iter().map(|s| (*s).to_string()));
+    args
+}
+
+fn clean_dir(dir: &Path) -> Result<(), String> {
+    let _ = fs::remove_dir_all(dir);
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))
+}
+
+/// A finished child invocation.
+struct Finished {
+    code: Option<i32>,
+    stderr: String,
+}
+
+/// A spawned daemon, killed on drop so a failed scenario never leaks a
+/// live process holding its scratch directory's lock.
+struct Daemon {
+    child: Child,
+    stderr_path: PathBuf,
+}
+
+impl Daemon {
+    fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    fn stderr_text(&self) -> String {
+        fs::read_to_string(&self.stderr_path).unwrap_or_default()
+    }
+
+    /// Waits for the daemon to exit on its own; `None` means killed by a
+    /// signal.
+    fn wait_exit(&mut self, limit: Duration) -> Result<Option<i32>, String> {
+        let deadline = Instant::now() + limit;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return Ok(status.code()),
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Ok(None) => {
+                    return Err(format!(
+                        "daemon never exited; stderr:\n{}",
+                        self.stderr_text()
+                    ))
+                }
+                Err(e) => return Err(format!("try_wait: {e}")),
+            }
+        }
+    }
+
+    fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.alive() {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+impl Ctx {
+    /// Runs `repro <args>` to completion, optionally failpoint-armed and
+    /// in a working directory.
+    fn command(
+        &self,
+        fp: Option<&str>,
+        cwd: Option<&Path>,
+        args: &[String],
+    ) -> Result<Finished, String> {
+        let mut cmd = Command::new(&self.exe);
+        cmd.args(args).stdout(Stdio::null()).stderr(Stdio::piped());
+        cmd.env_remove("GWC_FAILPOINTS");
+        if let Some(spec) = fp {
+            cmd.env("GWC_FAILPOINTS", spec);
+        }
+        if let Some(dir) = cwd {
+            cmd.current_dir(dir);
+        }
+        let out = cmd.output().map_err(|e| format!("cannot run repro {args:?}: {e}"))?;
+        Ok(Finished {
+            code: out.status.code(),
+            stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        })
+    }
+
+    /// Spawns `repro serve` on a free port over `dir`, stderr appended
+    /// to `<dir>/daemon.stderr`.
+    fn start_daemon(
+        &self,
+        dir: &Path,
+        fp: Option<&str>,
+        extra: &[&str],
+    ) -> Result<Daemon, String> {
+        // A stale addr file from a killed daemon would race discovery.
+        let _ = fs::remove_file(dir.join("addr"));
+        let stderr_path = dir.join("daemon.stderr");
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&stderr_path)
+            .map_err(|e| format!("cannot open {}: {e}", stderr_path.display()))?;
+        let mut cmd = Command::new(&self.exe);
+        cmd.args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+            .arg(dir)
+            .args(["--workers", "1", "--deadline-ms", "120000"])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::from(log));
+        cmd.env_remove("GWC_FAILPOINTS");
+        if let Some(spec) = fp {
+            cmd.env("GWC_FAILPOINTS", spec);
+        }
+        let child = cmd.spawn().map_err(|e| format!("cannot spawn repro serve: {e}"))?;
+        Ok(Daemon { child, stderr_path })
+    }
+
+    /// The clean-daemon reference: submit the canonical job once, let it
+    /// finish, and remember its hash and artifact bytes.
+    fn serve_reference(&mut self) -> Result<ServeRef, String> {
+        if let Some(r) = &self.serve_ref {
+            return Ok(r.clone());
+        }
+        let dir = self.base.join("ref-serve");
+        clean_dir(&dir)?;
+        let mut daemon = self.start_daemon(&dir, None, &[])?;
+        let addr = wait_ready(&dir, &mut daemon)?;
+        let r = submit(&addr, &job_body())?;
+        if r.status != 202 {
+            return Err(format!("reference submit: HTTP {} ({})", r.status, r.text()));
+        }
+        let hash = json_str(&r.text(), "hash")?;
+        wait_done(&addr, &hash)?;
+        let code = drain(&addr, &mut daemon)?;
+        if code != Some(0) {
+            return Err(format!("reference drain: exit {code:?}"));
+        }
+        let artifact = fs::read(dir.join(format!("art-{hash}.out")))
+            .map_err(|e| format!("reference artifact: {e}"))?;
+        let _ = fs::remove_dir_all(&dir);
+        let r = ServeRef { hash, artifact };
+        self.serve_ref = Some(r.clone());
+        Ok(r)
+    }
+
+    /// The clean-campaign reference report bytes.
+    fn campaign_reference(&mut self) -> Result<Vec<u8>, String> {
+        if let Some(r) = &self.campaign_ref {
+            return Ok(r.clone());
+        }
+        let dir = self.base.join("ref-campaign");
+        clean_dir(&dir)?;
+        let out = self.command(None, None, &campaign_args(&dir, &[]))?;
+        if out.code != Some(0) {
+            return Err(format!(
+                "reference campaign: exit {:?}; stderr:\n{}",
+                out.code, out.stderr
+            ));
+        }
+        let report = fs::read(dir.join("campaign-report.txt"))
+            .map_err(|e| format!("reference campaign report: {e}"))?;
+        let _ = fs::remove_dir_all(&dir);
+        self.campaign_ref = Some(report.clone());
+        Ok(report)
+    }
+}
+
+/// Polls until the daemon is ready; returns its bound address. Fails
+/// fast if the daemon dies first.
+fn wait_ready(dir: &Path, daemon: &mut Daemon) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = fs::read_to_string(dir.join("addr")) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                if let Ok(r) = exchange(&addr, "GET", "/readyz", None) {
+                    if r.status == 200 {
+                        return Ok(addr);
+                    }
+                }
+            }
+        }
+        if !daemon.alive() {
+            return Err(format!(
+                "daemon died before becoming ready; stderr:\n{}",
+                daemon.stderr_text()
+            ));
+        }
+        if Instant::now() >= deadline {
+            return Err("daemon never became ready".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn submit(addr: &str, body: &str) -> Result<ClientResponse, String> {
+    exchange(addr, "POST", "/jobs", Some(body)).map_err(|e| format!("submit: {e}"))
+}
+
+/// Polls one job until `phase` reaches `want`; returns the status body.
+fn wait_phase(addr: &str, hash: &str, want: &str) -> Result<Json, String> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(r) = exchange(addr, "GET", &format!("/jobs/{hash}"), None) {
+            if r.status == 200 {
+                let doc = parse_json(&r.text())
+                    .map_err(|e| format!("status JSON for {hash}: {e}"))?;
+                if doc.get("phase").and_then(Json::as_str) == Some(want) {
+                    return Ok(doc);
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {hash} never reached phase {want}"));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+fn wait_done(addr: &str, hash: &str) -> Result<Json, String> {
+    wait_phase(addr, hash, "done")
+}
+
+fn drain(addr: &str, daemon: &mut Daemon) -> Result<Option<i32>, String> {
+    let _ = exchange(addr, "POST", "/shutdown", None);
+    daemon.wait_exit(Duration::from_secs(60))
+}
+
+fn sigterm(daemon: &Daemon) -> Result<(), String> {
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.pid().to_string()])
+        .status()
+        .map_err(|e| format!("kill -TERM: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err("kill -TERM failed".into())
+    }
+}
+
+/// Extracts a string field from a JSON response body.
+fn json_str(text: &str, field: &str) -> Result<String, String> {
+    parse_json(text)
+        .ok()
+        .and_then(|doc| doc.get(field).and_then(Json::as_str).map(str::to_owned))
+        .ok_or_else(|| format!("no string field {field:?} in {text}"))
+}
+
+fn doc_field<'d>(doc: &'d Json, name: &str) -> Result<&'d Json, String> {
+    doc.get(name).ok_or_else(|| format!("response field {name:?} missing in {doc:?}"))
+}
+
+/// Restarts the daemon clean over a crashed directory and asserts full
+/// recovery: the job terminal and ok, started an allowed number of
+/// times, the artifact bit-identical to the reference, and a clean
+/// drain. `starts_allowed` is empty to skip the starts check (rotation
+/// snapshots legitimately reset the count).
+fn assert_recovery(
+    ctx: &Ctx,
+    dir: &Path,
+    reference: &ServeRef,
+    starts_allowed: &[u64],
+) -> Result<(), String> {
+    let mut revived = ctx.start_daemon(dir, None, &[])?;
+    let addr = wait_ready(dir, &mut revived)?;
+    let done = wait_done(&addr, &reference.hash)?;
+    let entry = doc_field(&done, "entry")?;
+    let outcome = doc_field(entry, "outcome")?.as_str().unwrap_or("");
+    if outcome != "ok" {
+        return Err(format!("recovered job outcome {outcome:?}, wanted ok"));
+    }
+    if !starts_allowed.is_empty() {
+        let starts = doc_field(&done, "starts")?.as_u64().unwrap_or(u64::MAX);
+        if !starts_allowed.contains(&starts) {
+            return Err(format!(
+                "recovered job started {starts} times, allowed {starts_allowed:?} \
+                 (more means a double-run, fewer a lost start record)"
+            ));
+        }
+    }
+    let recovered = fs::read(dir.join(format!("art-{}.out", reference.hash)))
+        .map_err(|e| format!("recovered artifact: {e}"))?;
+    if recovered != reference.artifact {
+        return Err("recovered artifact differs from the uninterrupted reference".into());
+    }
+    // The recovered result is a cache hit, not a re-execution.
+    let hit = submit(&addr, &job_body())?;
+    if hit.status != 200 || hit.header("x-gwc-cache") != Some("hit") {
+        return Err(format!("resubmission after recovery not a cache hit: HTTP {}", hit.status));
+    }
+    let code = drain(&addr, &mut revived)?;
+    if code != Some(0) {
+        return Err(format!("post-recovery drain: exit {code:?}"));
+    }
+    Ok(())
+}
+
+/// The core crash shape: fault the daemon mid-job, watch it die with the
+/// expected exit, restart, and assert recovery.
+fn serve_crash_recovers(
+    ctx: &mut Ctx,
+    dir: &Path,
+    fp: &str,
+    expect: Expect,
+    starts_allowed: &[u64],
+) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    let mut victim = ctx.start_daemon(dir, Some(fp), &[])?;
+    let addr = wait_ready(dir, &mut victim)?;
+    // The ack may be lost when the process dies between journaling the
+    // submission and writing the response; the journal record is what
+    // recovery is measured against, so tolerate a torn ack.
+    match submit(&addr, &job_body()) {
+        Ok(r) if r.status == 202 => {}
+        Ok(r) => return Err(format!("faulted submit: HTTP {} ({})", r.status, r.text())),
+        Err(_) => {}
+    }
+    let code = victim.wait_exit(Duration::from_secs(120))?;
+    expect.check(code, "faulted daemon")?;
+    drop(victim);
+    assert_recovery(ctx, dir, &reference, starts_allowed)
+}
+
+/// `serve.job.run=hang`: how the wedged drain is forced out.
+enum HangEscalation {
+    /// First SIGTERM drains, second forces exit 3.
+    SecondSignal,
+    /// One SIGTERM, then a short `--drain-timeout-ms` expires to exit 3.
+    Deadline,
+}
+
+fn hang_forced_drain(ctx: &mut Ctx, dir: &Path, how: HangEscalation) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    let timeout_ms = match how {
+        HangEscalation::SecondSignal => "600000",
+        HangEscalation::Deadline => "400",
+    };
+    let mut victim = ctx.start_daemon(
+        dir,
+        Some("serve.job.run=hang"),
+        &["--drain-timeout-ms", timeout_ms],
+    )?;
+    let addr = wait_ready(dir, &mut victim)?;
+    let r = submit(&addr, &job_body())?;
+    if r.status != 202 {
+        return Err(format!("submit: HTTP {}", r.status));
+    }
+    // The worker journals the start, flips the job to running, then
+    // hangs; wait for that so the drain genuinely has a wedged worker.
+    wait_phase(&addr, &reference.hash, "running")?;
+    sigterm(&victim)?;
+    if let HangEscalation::SecondSignal = how {
+        // The graceful drain must wedge behind the hung job first.
+        std::thread::sleep(Duration::from_millis(300));
+        if !victim.alive() {
+            return Err(format!(
+                "daemon exited on the first SIGTERM with a hung job; stderr:\n{}",
+                victim.stderr_text()
+            ));
+        }
+        sigterm(&victim)?;
+    }
+    let code = victim.wait_exit(Duration::from_secs(60))?;
+    Expect::Code(3).check(code, "forced drain")?;
+    drop(victim);
+    assert_recovery(ctx, dir, &reference, &[2])
+}
+
+/// Pre-rename rotation failures: the daemon shrugs, the uncompacted
+/// journal keeps working across a restart.
+fn rotation_failure_nonfatal(ctx: &mut Ctx, dir: &Path, fp: &str) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    let mut daemon =
+        ctx.start_daemon(dir, Some(fp), &["--wal-rotate-bytes", "1"])?;
+    let addr = wait_ready(dir, &mut daemon)?;
+    let r = submit(&addr, &job_body())?;
+    if r.status != 202 {
+        return Err(format!("submit: HTTP {}", r.status));
+    }
+    wait_done(&addr, &reference.hash)?;
+    let code = drain(&addr, &mut daemon)?;
+    if code != Some(0) {
+        return Err(format!("drain after failed rotation must be clean, got {code:?}"));
+    }
+    let log = daemon.stderr_text();
+    if !log.contains("rotation failed (non-fatal)") {
+        return Err(format!("stderr must report the non-fatal rotation:\n{log}"));
+    }
+    drop(daemon);
+    assert_recovery(ctx, dir, &reference, &[1])
+}
+
+/// Post-rename dirsync failure: fail-stop, but the rotated journal is
+/// the journal — restart folds the job as done without re-running.
+fn rotate_dirsync_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    let mut victim = ctx.start_daemon(
+        dir,
+        Some("wal.rotate.dirsync=eio@1"),
+        &["--wal-rotate-bytes", "1"],
+    )?;
+    let addr = wait_ready(dir, &mut victim)?;
+    let r = submit(&addr, &job_body())?;
+    if r.status != 202 {
+        return Err(format!("submit: HTTP {}", r.status));
+    }
+    let code = victim.wait_exit(Duration::from_secs(120))?;
+    Expect::Code(1).check(code, "dirsync fail-stop")?;
+    drop(victim);
+    // Rotation snapshots carry no start records, so skip the count.
+    assert_recovery(ctx, dir, &reference, &[])
+}
+
+/// A torn tail staged on disk, then EIO injected into the boot-time
+/// repair: boot fails typed; the next boot repairs and serves.
+fn open_truncate_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    // Stage: a clean run, then garbage appended past the last frame.
+    let mut daemon = ctx.start_daemon(dir, None, &[])?;
+    let addr = wait_ready(dir, &mut daemon)?;
+    let r = submit(&addr, &job_body())?;
+    if r.status != 202 {
+        return Err(format!("staging submit: HTTP {}", r.status));
+    }
+    wait_done(&addr, &reference.hash)?;
+    if drain(&addr, &mut daemon)? != Some(0) {
+        return Err("staging drain failed".into());
+    }
+    drop(daemon);
+    let wal = dir.join(gwc_server::WAL_FILE);
+    let mut bytes = fs::read(&wal).map_err(|e| format!("read {}: {e}", wal.display()))?;
+    bytes.extend_from_slice(b"\xff\xfftorn tail from a power cut");
+    fs::write(&wal, &bytes).map_err(|e| format!("stage torn tail: {e}"))?;
+    // Boot with the repair site armed: open fails, the process exits 1.
+    let mut faulted = ctx.start_daemon(dir, Some("wal.open.truncate=eio@1"), &[])?;
+    let code = faulted.wait_exit(Duration::from_secs(60))?;
+    Expect::Code(1).check(code, "faulted boot")?;
+    let log = faulted.stderr_text();
+    if !log.contains("wal.open.truncate") {
+        return Err(format!("boot error must name the failpoint site:\n{log}"));
+    }
+    drop(faulted);
+    // Clean boot repairs the tail; the finished job is still done.
+    assert_recovery(ctx, dir, &reference, &[1])
+}
+
+/// ENOSPC persisting the artifact: the entry is demoted with a typed
+/// storage detail and the daemon stays up — only WAL failures fail-stop.
+fn artifact_demotion_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    let reference = ctx.serve_reference()?;
+    clean_dir(dir)?;
+    let mut daemon = ctx.start_daemon(dir, Some("artifact.write=enospc@1"), &[])?;
+    let addr = wait_ready(dir, &mut daemon)?;
+    let r = submit(&addr, &job_body())?;
+    if r.status != 202 {
+        return Err(format!("submit: HTTP {}", r.status));
+    }
+    let done = wait_done(&addr, &reference.hash)?;
+    let entry = doc_field(&done, "entry")?;
+    let outcome = doc_field(entry, "outcome")?.as_str().unwrap_or("");
+    if outcome != "skipped" {
+        return Err(format!("demoted entry outcome {outcome:?}, wanted skipped"));
+    }
+    let detail = doc_field(entry, "detail")?.as_str().unwrap_or("");
+    if !detail.contains("storage fault persisting artifact") {
+        return Err(format!("demoted entry detail must carry the typed storage fault: {detail:?}"));
+    }
+    let health = exchange(&addr, "GET", "/healthz", None).map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("daemon must stay up after a demotion: /healthz {}", health.status));
+    }
+    let code = drain(&addr, &mut daemon)?;
+    if code != Some(0) {
+        return Err(format!("drain after demotion must be clean, got {code:?}"));
+    }
+    Ok(())
+}
+
+/// Campaign manifest failures: the campaign dies, campaign.json stays a
+/// parseable complete manifest, and `--resume` converges to report bytes
+/// identical to an uninterrupted campaign.
+fn manifest_failure_resumes(
+    ctx: &mut Ctx,
+    dir: &Path,
+    fp: &str,
+    expect: Expect,
+) -> Result<(), String> {
+    let reference = ctx.campaign_reference()?;
+    clean_dir(dir)?;
+    let out = ctx.command(Some(fp), None, &campaign_args(dir, &[]))?;
+    expect.check(out.code, "faulted campaign")?;
+    if let Expect::Code(_) = expect {
+        if !out.stderr.contains("failpoint") {
+            return Err(format!("campaign stderr must name the injected fault:\n{}", out.stderr));
+        }
+    }
+    // The manifest left behind is always a parseable, complete document.
+    let text = fs::read_to_string(dir.join("campaign.json"))
+        .map_err(|e| format!("campaign.json after the fault: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("campaign.json unparseable: {e}"))?;
+    if doc.get("format").and_then(Json::as_str) != Some("gwc-campaign") {
+        return Err("campaign.json lost its format header".into());
+    }
+    let resumed = ctx.command(None, None, &campaign_args(dir, &["--resume"]))?;
+    if resumed.code != Some(0) {
+        return Err(format!(
+            "--resume after the fault: exit {:?}; stderr:\n{}",
+            resumed.code, resumed.stderr
+        ));
+    }
+    let report = fs::read(dir.join("campaign-report.txt"))
+        .map_err(|e| format!("resumed campaign report: {e}"))?;
+    if report != reference {
+        return Err("resumed campaign report differs from the uninterrupted reference".into());
+    }
+    Ok(())
+}
+
+/// EIO during lock acquisition: typed exit 2, nothing claimed, a retry
+/// acquires and runs.
+fn lock_acquire_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    clean_dir(dir)?;
+    let args = campaign_args(dir, &["--stop-after", "1"]);
+    let out = ctx.command(Some("lock.acquire=eio@1"), None, &args)?;
+    Expect::Code(2).check(out.code, "faulted acquire")?;
+    if !out.stderr.contains("failpoint lock.acquire") {
+        return Err(format!("stderr must carry the typed lock error:\n{}", out.stderr));
+    }
+    let retry = ctx.command(None, None, &args)?;
+    if retry.code != Some(1) || !retry.stderr.contains("campaign interrupted after 1") {
+        return Err(format!(
+            "retry must acquire and run one job (exit 1, interrupted): exit {:?}; stderr:\n{}",
+            retry.code, retry.stderr
+        ));
+    }
+    Ok(())
+}
+
+/// Crash while *holding* the lock: the kernel releases it with the dead
+/// process — the next acquire must succeed, never wedge.
+fn lock_held_abort_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    clean_dir(dir)?;
+    let args = campaign_args(dir, &["--stop-after", "1"]);
+    let out = ctx.command(Some("lock.acquired=abort@1"), None, &args)?;
+    Expect::Killed.check(out.code, "holder crash")?;
+    let retry = ctx.command(None, None, &args)?;
+    if retry.code != Some(1) || !retry.stderr.contains("campaign interrupted after 1") {
+        return Err(format!(
+            "acquire after the holder's crash must succeed: exit {:?}; stderr:\n{}",
+            retry.code, retry.stderr
+        ));
+    }
+    Ok(())
+}
+
+/// Torn checkpoint write: the replay reports it (exit 1) and leaves a
+/// partial file that `--resume` rejects with a typed error (exit 2).
+fn gwck_torn_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    clean_dir(dir)?;
+    let write_args: Vec<String> = [
+        "replay", "--game", "doom3", "--api-frames", "2", "--sim-frames", "2",
+        "--res", "48x36", "--checkpoint-every", "1",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let out = ctx.command(Some("gwck.write=torn@1"), Some(dir), &write_args)?;
+    Expect::Code(1).check(out.code, "torn checkpoint write")?;
+    if !out.stderr.contains("cannot write checkpoint") {
+        return Err(format!("stderr must report the failed checkpoint:\n{}", out.stderr));
+    }
+    let file = "repro-Doom3_trdemo2-frame1.gwck";
+    let torn = dir.join(file);
+    let len = fs::metadata(&torn).map_err(|e| format!("torn checkpoint file: {e}"))?.len();
+    if len == 0 {
+        return Err("torn write must leave a genuinely partial file, not an empty one".into());
+    }
+    let resume_args: Vec<String> =
+        ["replay", "--resume", file, "--api-frames", "2", "--sim-frames", "2", "--res", "48x36"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+    let resumed = ctx.command(None, Some(dir), &resume_args)?;
+    Expect::Code(2).check(resumed.code, "restore of a torn checkpoint")?;
+    if !resumed.stderr.contains("cannot restore checkpoint") {
+        return Err(format!("restore must fail typed, naming the file:\n{}", resumed.stderr));
+    }
+    Ok(())
+}
+
+/// The durability matrix, generated from the site registry — the same
+/// table DESIGN.md §4h carries.
+pub fn matrix() -> String {
+    let mut out = String::from(
+        "| site | boundary | guarantee | on failure / crash |\n|---|---|---|---|\n",
+    );
+    for s in SITES {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            s.name, s.boundary, s.guarantee, s.recovery
+        ));
+    }
+    out
+}
+
+fn list() -> String {
+    let width = SITES.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for s in SITES {
+        out.push_str(&format!("{:width$}  {}\n", s.name, s.boundary));
+    }
+    out
+}
+
+/// Entry point for `repro torture`. Returns whether every selected
+/// scenario held its recovery invariant.
+pub fn run(options: &crate::Options) -> bool {
+    if options.torture_list {
+        print!("{}", list());
+        return true;
+    }
+    if options.torture_matrix {
+        print!("{}", matrix());
+        return true;
+    }
+    // The runner's own process must stay un-faulted: only children are
+    // armed, explicitly, per scenario.
+    gwc_failpoints::disarm();
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("repro: torture: cannot locate own binary: {e}");
+            return false;
+        }
+    };
+    let base = PathBuf::from(&options.dir);
+    if let Err(e) = fs::create_dir_all(&base) {
+        eprintln!("repro: torture: cannot create {}: {e}", base.display());
+        return false;
+    }
+    let selected: Vec<&Scenario> = if options.torture_all || options.torture_sites.is_empty() {
+        SCENARIOS.iter().collect()
+    } else {
+        SCENARIOS
+            .iter()
+            .filter(|s| options.torture_sites.iter().any(|n| n == s.site))
+            .collect()
+    };
+    let mut ctx = Ctx { exe, base: base.clone(), serve_ref: None, campaign_ref: None };
+    let mut lines = Vec::new();
+    let mut failed = 0usize;
+    let started = Instant::now();
+    for s in &selected {
+        eprintln!("torture: {} [{}] — {}", s.site, s.tag, s.what);
+        let dir = base.join(format!("t-{}", s.tag));
+        match (s.run)(&mut ctx, &dir) {
+            Ok(()) => {
+                lines.push(format!("PASS  {}  [{}]", s.site, s.tag));
+                let _ = fs::remove_dir_all(&dir);
+            }
+            Err(why) => {
+                failed += 1;
+                lines.push(format!("FAIL  {}  [{}]\n      {why}", s.site, s.tag));
+                eprintln!("torture: FAIL {} [{}]: {why}", s.site, s.tag);
+                eprintln!("torture: scenario state kept in {}", dir.display());
+            }
+        }
+    }
+    let sites: std::collections::BTreeSet<&str> = selected.iter().map(|s| s.site).collect();
+    let summary = format!(
+        "torture: {} of {} scenarios held over {} sites ({:.1}s)",
+        selected.len() - failed,
+        selected.len(),
+        sites.len(),
+        started.elapsed().as_secs_f64()
+    );
+    let report = format!("{summary}\n{}\n", lines.join("\n"));
+    let path = base.join("torture-report.txt");
+    if let Err(e) = fs::write(&path, &report) {
+        eprintln!("repro: torture: cannot write {}: {e}", path.display());
+        return false;
+    }
+    print!("{report}");
+    eprintln!("torture report: {}", path.display());
+    failed == 0 && !selected.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_site_has_a_scenario_and_vice_versa() {
+        for site in SITES {
+            assert!(
+                SCENARIOS.iter().any(|s| s.site == site.name),
+                "site {} has no torture scenario",
+                site.name
+            );
+        }
+        for s in SCENARIOS {
+            assert!(
+                gwc_failpoints::site(s.site).is_some(),
+                "scenario [{}] names unregistered site {}",
+                s.tag,
+                s.site
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_tags_are_unique() {
+        for (i, s) in SCENARIOS.iter().enumerate() {
+            assert!(
+                !SCENARIOS[..i].iter().any(|p| p.tag == s.tag),
+                "duplicate scenario tag {}",
+                s.tag
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_lists_every_site() {
+        let m = matrix();
+        for site in SITES {
+            assert!(m.contains(site.name), "matrix omits {}", site.name);
+        }
+        assert!(m.starts_with("| site |"), "matrix is a markdown table");
+    }
+}

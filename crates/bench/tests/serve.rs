@@ -22,18 +22,28 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 /// Spawns the daemon on a free port with small, test-friendly limits.
 fn start_daemon(dir: &Path, extra: &[&str]) -> Child {
+    start_daemon_env(dir, extra, &[])
+}
+
+/// Like [`start_daemon`], with extra environment (e.g. `GWC_FAILPOINTS`).
+fn start_daemon_env(dir: &Path, extra: &[&str], env: &[(&str, &str)]) -> Child {
     // A stale addr file from a previous (killed) daemon in the same dir
     // would race discovery; the daemon rewrites it only after binding.
     let _ = fs::remove_file(dir.join("addr"));
-    Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
         .arg(dir)
         .args(["--deadline-ms", "120000"])
         .args(extra)
+        // Insulate from any failpoint config leaking in from the
+        // invoking shell; tests opt in explicitly via `env`.
+        .env_remove("GWC_FAILPOINTS")
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("repro serve spawns")
+        .stderr(Stdio::null());
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    cmd.spawn().expect("repro serve spawns")
 }
 
 /// Polls until the daemon reports ready; returns its bound address.
@@ -86,6 +96,29 @@ fn wait_done(addr: &str, hash: &str) -> Json {
         assert!(Instant::now() < deadline, "job {hash} never finished");
         std::thread::sleep(Duration::from_millis(30));
     }
+}
+
+/// Polls one job until the worker has actually picked it up.
+fn wait_running(addr: &str, hash: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(r) = exchange(addr, "GET", &format!("/jobs/{hash}"), None) {
+            let doc = parse_json(&r.text()).expect("status JSON");
+            if field(&doc, "phase").as_str() == Some("running") {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "job {hash} never started running");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(status.success());
 }
 
 fn drain(addr: &str, child: &mut Child) -> i32 {
@@ -270,6 +303,74 @@ fn drain_loses_nothing_and_double_runs_nothing() {
         );
     }
     assert_eq!(drain(&addr, &mut daemon), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_sigterm_escalates_a_wedged_drain_to_exit_three() {
+    let dir = temp_dir("forced-signal");
+    // The injected hang wedges the worker forever; the drain deadline is
+    // set far out so only the second signal can end this daemon.
+    let mut daemon = start_daemon_env(
+        &dir,
+        &["--workers", "1", "--drain-timeout-ms", "600000"],
+        &[("GWC_FAILPOINTS", "serve.job.run=hang")],
+    );
+    let addr = wait_ready(&dir);
+    let r = submit(&addr, &job_body("Doom3/trdemo2", 21));
+    assert_eq!(r.status, 202);
+    let hash =
+        field(&parse_json(&r.text()).expect("json"), "hash").as_str().expect("hash").to_owned();
+    wait_running(&addr, &hash);
+
+    // First SIGTERM begins a graceful drain that can never finish; the
+    // second is the operator insisting, and must not be swallowed.
+    sigterm(&daemon);
+    std::thread::sleep(Duration::from_millis(300));
+    sigterm(&daemon);
+    assert_eq!(wait_exit(&mut daemon), 3, "forced drain exits 3");
+
+    // Forced exit abandoned the run, not the journal: a clean restart
+    // re-admits the job and the re-run completes.
+    let mut revived = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+    let done = wait_done(&addr, &hash);
+    assert_eq!(field(field(&done, "entry"), "outcome").as_str(), Some("ok"));
+    assert_eq!(
+        field(&done, "starts").as_u64(),
+        Some(2),
+        "the interrupted attempt and the successful re-run both count"
+    );
+    assert_eq!(drain(&addr, &mut revived), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_deadline_expiry_forces_exit_three() {
+    let dir = temp_dir("forced-deadline");
+    let mut daemon = start_daemon_env(
+        &dir,
+        &["--workers", "1", "--drain-timeout-ms", "400"],
+        &[("GWC_FAILPOINTS", "serve.job.run=hang")],
+    );
+    let addr = wait_ready(&dir);
+    let r = submit(&addr, &job_body("Doom3/trdemo2", 22));
+    assert_eq!(r.status, 202);
+    let hash =
+        field(&parse_json(&r.text()).expect("json"), "hash").as_str().expect("hash").to_owned();
+    wait_running(&addr, &hash);
+
+    // One SIGTERM; the hung worker never finishes, so the 400ms drain
+    // deadline is what ends the process.
+    sigterm(&daemon);
+    assert_eq!(wait_exit(&mut daemon), 3, "expired drain deadline exits 3");
+
+    let mut revived = start_daemon(&dir, &["--workers", "1"]);
+    let addr = wait_ready(&dir);
+    let done = wait_done(&addr, &hash);
+    assert_eq!(field(field(&done, "entry"), "outcome").as_str(), Some("ok"));
+    assert_eq!(field(&done, "starts").as_u64(), Some(2));
+    assert_eq!(drain(&addr, &mut revived), 0);
     let _ = fs::remove_dir_all(&dir);
 }
 

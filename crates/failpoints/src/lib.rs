@@ -1,0 +1,642 @@
+//! Deterministic I/O fault injection for every durability boundary in
+//! the workspace.
+//!
+//! Durability code is dominated by branches that almost never run: the
+//! fsync that fails, the rename interrupted by a power cut, the disk
+//! that fills mid-append. This crate makes those branches reachable on
+//! demand. Each boundary is a named **site** (`wal.append.fsync`,
+//! `manifest.rename`, …) registered in [`SITES`] with the guarantee it
+//! protects and the recovery behaviour expected when it fails — the
+//! torture harness (`repro torture`) enumerates that table, and
+//! DESIGN.md §4h is generated from it.
+//!
+//! # Arming
+//!
+//! Failpoints are armed per process via the `GWC_FAILPOINTS` environment
+//! variable (or [`arm`] directly in tests):
+//!
+//! ```text
+//! GWC_FAILPOINTS="wal.append.fsync=eio;manifest.rename=abort@2"
+//! ```
+//!
+//! Each clause is `site=action[@N][%P]`:
+//!
+//! - `action` — `eio` (typed I/O error), `enospc` (typed
+//!   [`std::io::ErrorKind::StorageFull`]), `short` (a few bytes written,
+//!   then an error), `torn` (all but the last bytes written, then an
+//!   error — the shape a power cut leaves mid-frame), `abort`
+//!   (`std::process::abort()` at the site), `hang` (sleep forever — a
+//!   wedged disk);
+//! - `@N` — fire on the Nth hit of the site only (1-based);
+//! - `%P` — fire with probability P percent, decided by a seeded
+//!   xorshift64 stream (`GWC_FAILPOINTS_SEED`), so a given seed always
+//!   fails the same hits.
+//!
+//! # Cost
+//!
+//! Unarmed (the default), every hook is one relaxed atomic load. With
+//! the `enabled` feature off, the hooks compile to nothing and the
+//! process cannot be armed at all. Either way, a process that never sets
+//! `GWC_FAILPOINTS` executes byte-identically to one built without the
+//! crate — the determinism suites run with failpoints compiled in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+
+/// One registered fault-injection site: where it sits, what durability
+/// guarantee the surrounding code claims, and how the system is expected
+/// to recover when the site fails. This table is the single source of
+/// truth behind `repro torture` and the DESIGN.md §4h durability matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// Dotted site name, stable (it is CLI/env surface).
+    pub name: &'static str,
+    /// The durability boundary the site instruments.
+    pub boundary: &'static str,
+    /// The guarantee the surrounding code claims across this boundary.
+    pub guarantee: &'static str,
+    /// Expected behaviour when the site fails or the process dies here.
+    pub recovery: &'static str,
+}
+
+/// Every registered site. Arming an unknown site is an error — a typo in
+/// `GWC_FAILPOINTS` must not silently test nothing.
+pub const SITES: &[Site] = &[
+    Site {
+        name: "wal.append.write",
+        boundary: "WAL append: frame write",
+        guarantee: "a record is durable before the state flip it journals",
+        recovery: "daemon fail-stops (exit 1); restart truncates the torn tail and re-runs \
+                   unacknowledged work to bit-identical artifacts",
+    },
+    Site {
+        name: "wal.append.fsync",
+        boundary: "WAL append: fsync",
+        guarantee: "a record is durable before the state flip it journals",
+        recovery: "daemon fail-stops (exit 1); restart replays the valid prefix",
+    },
+    Site {
+        name: "wal.open.truncate",
+        boundary: "WAL open: torn-tail repair",
+        guarantee: "the journal is reopened at a frame boundary",
+        recovery: "boot fails with the error; a retry after the transient clears recovers",
+    },
+    Site {
+        name: "wal.rotate.write",
+        boundary: "WAL rotation: temp-file write",
+        guarantee: "pre-rename failure leaves the old journal and its handle untouched",
+        recovery: "non-fatal: the daemon keeps appending to the uncompacted journal",
+    },
+    Site {
+        name: "wal.rotate.fsync",
+        boundary: "WAL rotation: temp-file fsync",
+        guarantee: "pre-rename failure leaves the old journal and its handle untouched",
+        recovery: "non-fatal: the daemon keeps appending to the uncompacted journal",
+    },
+    Site {
+        name: "wal.rotate.rename",
+        boundary: "WAL rotation: atomic swap",
+        guarantee: "the swap either completes or the old journal remains the journal",
+        recovery: "non-fatal: the daemon keeps appending to the uncompacted journal",
+    },
+    Site {
+        name: "wal.rotate.dirsync",
+        boundary: "WAL rotation: directory fsync after the swap",
+        guarantee: "the swap is durable before any append lands in the new inode",
+        recovery: "daemon fail-stops (exit 1): after a crash the directory may still name the \
+                   pre-rotation inode, so appends into the new one could vanish",
+    },
+    Site {
+        name: "manifest.write",
+        boundary: "campaign manifest: temp-file write",
+        guarantee: "campaign.json is always a parseable, complete manifest",
+        recovery: "campaign exits 2; the prior manifest is untouched and --resume continues",
+    },
+    Site {
+        name: "manifest.fsync",
+        boundary: "campaign manifest: temp-file fsync before rename",
+        guarantee: "the rename never publishes bytes that are not yet durable",
+        recovery: "campaign exits 2; the prior manifest is untouched and --resume continues",
+    },
+    Site {
+        name: "manifest.rename",
+        boundary: "campaign manifest: atomic swap",
+        guarantee: "campaign.json is always a parseable, complete manifest",
+        recovery: "campaign exits 2; the prior manifest is untouched and --resume continues",
+    },
+    Site {
+        name: "manifest.dirsync",
+        boundary: "campaign manifest: parent-directory fsync",
+        guarantee: "a published manifest survives a crash of the whole machine",
+        recovery: "campaign exits 2; --resume re-runs at most the last job",
+    },
+    Site {
+        name: "artifact.write",
+        boundary: "job artifact persistence",
+        guarantee: "an artifact matches its journaled CRC or its entry is demoted",
+        recovery: "serve: typed degrade — the job is recorded failed with a storage detail and \
+                   the daemon stays up; campaign: exits 2 and --resume re-runs the job",
+    },
+    Site {
+        name: "gwck.write",
+        boundary: "GWCK checkpoint write",
+        guarantee: "a checkpoint restores bit-identically or is rejected with a typed error",
+        recovery: "a partial file fails restore with a typed CheckpointError (exit 2); rerun \
+                   without --resume",
+    },
+    Site {
+        name: "lock.acquire",
+        boundary: "DirLock acquisition",
+        guarantee: "one live owner per state directory",
+        recovery: "typed LockError::Io; nothing was claimed, a retry may succeed",
+    },
+    Site {
+        name: "lock.acquired",
+        boundary: "crash while holding a DirLock",
+        guarantee: "a dead holder never wedges the directory",
+        recovery: "the kernel releases the advisory lock with the holder's descriptors; the \
+                   next acquire succeeds",
+    },
+    Site {
+        name: "serve.job.run",
+        boundary: "worker between the journaled start and job execution",
+        guarantee: "started-without-done jobs re-run on restart; done jobs never run again",
+        recovery: "abort: restart re-runs to a bit-identical artifact; hang: the drain \
+                   deadline or a second SIGTERM forces exit 3",
+    },
+];
+
+/// Looks a site up by name.
+pub fn site(name: &str) -> Option<&'static Site> {
+    SITES.iter().find(|s| s.name == name)
+}
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return a typed I/O error (EIO-flavoured).
+    Eio,
+    /// Return [`io::ErrorKind::StorageFull`] (ENOSPC).
+    Enospc,
+    /// Write only the first few bytes, then return an error.
+    Short,
+    /// Write all but the last few bytes, then return an error — the
+    /// torn-frame shape a power cut leaves.
+    Torn,
+    /// `std::process::abort()` at the site (a crash at this exact point).
+    Abort,
+    /// Sleep forever (a wedged device; exercises drain deadlines).
+    Hang,
+}
+
+impl Action {
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    fn parse(s: &str) -> Option<Action> {
+        Some(match s {
+            "eio" => Action::Eio,
+            "enospc" => Action::Enospc,
+            "short" => Action::Short,
+            "torn" => Action::Torn,
+            "abort" => Action::Abort,
+            "hang" => Action::Hang,
+            _ => return None,
+        })
+    }
+
+    /// Stable name (CLI/report surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Eio => "eio",
+            Action::Enospc => "enospc",
+            Action::Short => "short",
+            Action::Torn => "torn",
+            Action::Abort => "abort",
+            Action::Hang => "hang",
+        }
+    }
+}
+
+/// Builds the typed error an armed site returns.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+fn injected_error(site: &str, action: Action) -> io::Error {
+    match action {
+        Action::Enospc => io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!("failpoint {site}: injected ENOSPC (no space left on device)"),
+        ),
+        Action::Short => {
+            io::Error::other(format!("failpoint {site}: injected short write"))
+        }
+        Action::Torn => {
+            io::Error::other(format!("failpoint {site}: injected torn write"))
+        }
+        _ => io::Error::other(format!("failpoint {site}: injected EIO")),
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{injected_error, site, Action};
+    use std::io::{self, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Fast-path gate: a relaxed load is the whole cost of an unarmed
+    /// hook.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry { sites: Vec::new(), rng: 0 });
+
+    struct Registry {
+        sites: Vec<ArmedSite>,
+        /// xorshift64 state for `%P` probability rolls.
+        rng: u64,
+    }
+
+    struct ArmedSite {
+        name: String,
+        action: Action,
+        /// Fire only on this 1-based hit, when set.
+        nth: Option<u64>,
+        /// Fire with this probability in percent, when set.
+        percent: Option<u8>,
+        hits: u64,
+        fired: u64,
+    }
+
+    impl Registry {
+        fn roll_percent(&mut self) -> u8 {
+            // xorshift64: deterministic for a given seed and hit sequence.
+            let mut x = self.rng.max(1);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.rng = x;
+            (x % 100) as u8
+        }
+    }
+
+    /// Parses one `site=action[@N][%P]` clause.
+    fn parse_clause(clause: &str) -> Result<ArmedSite, String> {
+        let (name, mut spec) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause '{clause}' is not site=action"))?;
+        let name = name.trim();
+        if site(name).is_none() {
+            return Err(format!(
+                "unknown failpoint site '{name}' (see 'repro torture --list')"
+            ));
+        }
+        let mut percent = None;
+        if let Some((rest, p)) = spec.split_once('%') {
+            let p: u8 = p
+                .parse()
+                .ok()
+                .filter(|&p| p <= 100)
+                .ok_or_else(|| format!("failpoint '{name}': bad percent '{p}' (0-100)"))?;
+            percent = Some(p);
+            spec = rest;
+        }
+        let mut nth = None;
+        if let Some((rest, n)) = spec.split_once('@') {
+            let n: u64 = n
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("failpoint '{name}': bad hit index '{n}' (1-based)"))?;
+            nth = Some(n);
+            spec = rest;
+        }
+        let action = Action::parse(spec.trim())
+            .ok_or_else(|| format!("failpoint '{name}': unknown action '{spec}'"))?;
+        Ok(ArmedSite { name: name.to_owned(), action, nth, percent, hits: 0, fired: 0 })
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, Registry> {
+        REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn arm(config: &str, seed: u64) -> Result<usize, String> {
+        let mut sites = Vec::new();
+        for clause in config.split([';', ',']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            sites.push(parse_clause(clause)?);
+        }
+        let mut reg = lock();
+        let count = sites.len();
+        reg.sites = sites;
+        reg.rng = seed.max(1);
+        ARMED.store(count > 0, Ordering::SeqCst);
+        Ok(count)
+    }
+
+    pub fn disarm() {
+        let mut reg = lock();
+        reg.sites.clear();
+        ARMED.store(false, Ordering::SeqCst);
+    }
+
+    pub fn armed() -> bool {
+        ARMED.load(Ordering::Relaxed)
+    }
+
+    pub fn hits(name: &str) -> u64 {
+        lock().sites.iter().find(|s| s.name == name).map_or(0, |s| s.hits)
+    }
+
+    pub fn fired(name: &str) -> u64 {
+        lock().sites.iter().find(|s| s.name == name).map_or(0, |s| s.fired)
+    }
+
+    /// Evaluates a hit: records it and returns the action to take, if
+    /// any. `Abort`/`Hang` are acted on here (never returning), so
+    /// callers only see error-shaped actions.
+    fn evaluate(name: &str) -> Option<Action> {
+        let action = {
+            let mut reg = lock();
+            // Roll the rng before mutably borrowing the site (split borrows).
+            let needs_roll =
+                reg.sites.iter().find(|s| s.name == name).and_then(|s| s.percent).is_some();
+            let rolled = if needs_roll { Some(reg.roll_percent()) } else { None };
+            let armed = reg.sites.iter_mut().find(|s| s.name == name)?;
+            armed.hits += 1;
+            let due_nth = armed.nth.is_none_or(|n| armed.hits == n);
+            let due_pct = match (armed.percent, rolled) {
+                (Some(p), Some(r)) => r < p,
+                _ => true,
+            };
+            if !(due_nth && due_pct) {
+                return None;
+            }
+            armed.fired += 1;
+            armed.action
+            // Registry lock drops here — before any abort/hang, so other
+            // threads' hooks never deadlock behind a dying one.
+        };
+        match action {
+            Action::Abort => {
+                eprintln!("gwc-failpoints: aborting at {name}");
+                let _ = io::stderr().flush();
+                std::process::abort();
+            }
+            Action::Hang => {
+                eprintln!("gwc-failpoints: hanging at {name}");
+                let _ = io::stderr().flush();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            }
+            other => Some(other),
+        }
+    }
+
+    pub fn check(name: &str) -> io::Result<()> {
+        if !armed() {
+            return Ok(());
+        }
+        match evaluate(name) {
+            None => Ok(()),
+            Some(action) => Err(injected_error(name, action)),
+        }
+    }
+
+    pub fn write_all(name: &str, w: &mut dyn Write, buf: &[u8]) -> io::Result<()> {
+        if !armed() {
+            return w.write_all(buf);
+        }
+        match evaluate(name) {
+            None => w.write_all(buf),
+            Some(Action::Short) => {
+                // A few header bytes land; the bulk never does.
+                w.write_all(&buf[..buf.len().min(4)])?;
+                Err(injected_error(name, Action::Short))
+            }
+            Some(Action::Torn) => {
+                // Everything but the tail lands — the classic torn frame.
+                w.write_all(&buf[..buf.len().saturating_sub(3)])?;
+                Err(injected_error(name, Action::Torn))
+            }
+            Some(action) => Err(injected_error(name, action)),
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::io::{self, Write};
+
+    pub fn arm(_config: &str, _seed: u64) -> Result<usize, String> {
+        Err("gwc-failpoints compiled out (feature 'enabled' is disabled)".into())
+    }
+
+    pub fn disarm() {}
+
+    pub fn armed() -> bool {
+        false
+    }
+
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+
+    pub fn fired(_name: &str) -> u64 {
+        0
+    }
+
+    #[inline]
+    pub fn check(_name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    #[inline]
+    pub fn write_all(_name: &str, w: &mut dyn Write, buf: &[u8]) -> io::Result<()> {
+        w.write_all(buf)
+    }
+}
+
+/// Arms sites from a config string (the `GWC_FAILPOINTS` syntax); `seed`
+/// drives the `%P` probability stream. Replaces any previous arming.
+/// Returns the number of armed sites; unknown sites or malformed clauses
+/// are an error (and arm nothing).
+pub fn arm(config: &str, seed: u64) -> Result<usize, String> {
+    imp::arm(config, seed)
+}
+
+/// Arms from `GWC_FAILPOINTS` / `GWC_FAILPOINTS_SEED`. With the variable
+/// unset or empty this is a no-op returning `Ok(0)` — existing arming
+/// (e.g. from a test) is left alone.
+pub fn arm_from_env() -> Result<usize, String> {
+    let Ok(config) = std::env::var("GWC_FAILPOINTS") else {
+        return Ok(0);
+    };
+    if config.trim().is_empty() {
+        return Ok(0);
+    }
+    let seed = std::env::var("GWC_FAILPOINTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED);
+    imp::arm(&config, seed)
+}
+
+/// Disarms every site.
+pub fn disarm() {
+    imp::disarm();
+}
+
+/// Whether any site is currently armed.
+pub fn armed() -> bool {
+    imp::armed()
+}
+
+/// How many times an armed site has been reached (0 when unarmed — hit
+/// accounting only runs while armed, to keep the unarmed path free).
+pub fn hits(name: &str) -> u64 {
+    imp::hits(name)
+}
+
+/// How many times an armed site has actually fired.
+pub fn fired(name: &str) -> u64 {
+    imp::fired(name)
+}
+
+/// The main hook: returns `Ok(())` unless `name` is armed and due, in
+/// which case it returns the injected typed error — or never returns
+/// (`abort`/`hang`).
+pub fn check(name: &str) -> io::Result<()> {
+    imp::check(name)
+}
+
+/// A write-shaped hook: writes `buf` to `w` unless `name` is armed and
+/// due. `short`/`torn` write a deterministic prefix before erroring, so
+/// the on-disk state is genuinely partial — exactly what recovery code
+/// must survive.
+pub fn write_all(name: &str, w: &mut dyn io::Write, buf: &[u8]) -> io::Result<()> {
+    imp::write_all(name, w, buf)
+}
+
+/// `std::fs::write` with a failpoint on the write: creates (truncating)
+/// `path` and writes `buf` through [`write_all`].
+pub fn write_file(name: &str, path: &std::path::Path, buf: &[u8]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_all(name, &mut f, buf)
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests arming it must not overlap.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_hooks_are_noops() {
+        let _gate = exclusive();
+        disarm();
+        assert!(!armed());
+        assert!(check("wal.append.fsync").is_ok());
+        let mut sink = Vec::new();
+        write_all("wal.append.write", &mut sink, b"abc").expect("plain write");
+        assert_eq!(sink, b"abc");
+        assert_eq!(hits("wal.append.write"), 0, "unarmed hits are not counted");
+    }
+
+    #[test]
+    fn arm_rejects_unknown_sites_and_bad_specs() {
+        let _gate = exclusive();
+        disarm();
+        assert!(arm("no.such.site=eio", 1).is_err());
+        assert!(arm("wal.append.fsync=explode", 1).is_err());
+        assert!(arm("wal.append.fsync", 1).is_err(), "missing action");
+        assert!(arm("wal.append.fsync=eio@0", 1).is_err(), "@N is 1-based");
+        assert!(arm("wal.append.fsync=eio%101", 1).is_err(), "percent over 100");
+        assert!(!armed(), "failed arming must leave the process unarmed");
+        assert_eq!(arm("", 1).expect("empty config"), 0);
+    }
+
+    #[test]
+    fn typed_errors_carry_site_and_kind() {
+        let _gate = exclusive();
+        arm("wal.append.fsync=enospc; manifest.rename=eio", 7).expect("arm");
+        let e = check("wal.append.fsync").expect_err("must fire");
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        assert!(e.to_string().contains("wal.append.fsync"));
+        let e = check("manifest.rename").expect_err("must fire");
+        assert!(e.to_string().contains("manifest.rename"));
+        assert!(check("wal.rotate.rename").is_ok(), "unarmed sites pass");
+        assert_eq!(hits("wal.append.fsync"), 1);
+        assert_eq!(fired("wal.append.fsync"), 1);
+        disarm();
+    }
+
+    #[test]
+    fn nth_hit_gating_fires_exactly_once() {
+        let _gate = exclusive();
+        arm("wal.append.write=eio@3", 1).expect("arm");
+        let mut sink = Vec::new();
+        assert!(write_all("wal.append.write", &mut sink, b"a").is_ok());
+        assert!(write_all("wal.append.write", &mut sink, b"b").is_ok());
+        assert!(write_all("wal.append.write", &mut sink, b"c").is_err(), "3rd hit fires");
+        assert!(write_all("wal.append.write", &mut sink, b"d").is_ok(), "then disarms again");
+        assert_eq!(sink, b"abd");
+        assert_eq!(hits("wal.append.write"), 4);
+        assert_eq!(fired("wal.append.write"), 1);
+        disarm();
+    }
+
+    #[test]
+    fn short_and_torn_leave_deterministic_partial_writes() {
+        let _gate = exclusive();
+        arm("wal.append.write=torn", 1).expect("arm");
+        let mut sink = Vec::new();
+        let e = write_all("wal.append.write", &mut sink, b"0123456789").expect_err("torn");
+        assert!(e.to_string().contains("torn"));
+        assert_eq!(sink, b"0123456", "all but the last 3 bytes landed");
+        arm("wal.append.write=short", 1).expect("rearm");
+        let mut sink = Vec::new();
+        write_all("wal.append.write", &mut sink, b"0123456789").expect_err("short");
+        assert_eq!(sink, b"0123", "only the first 4 bytes landed");
+        disarm();
+    }
+
+    #[test]
+    fn probability_stream_is_seed_deterministic() {
+        let _gate = exclusive();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("wal.append.fsync=eio%40", seed).expect("arm");
+            (0..64).map(|_| check("wal.append.fsync").is_err()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same failure schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(fired > 8 && fired < 56, "roughly 40%: got {fired}/64");
+        disarm();
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for (i, s) in SITES.iter().enumerate() {
+            assert!(site(s.name).is_some());
+            assert!(
+                !SITES[..i].iter().any(|p| p.name == s.name),
+                "duplicate site {}",
+                s.name
+            );
+            assert!(!s.boundary.is_empty() && !s.guarantee.is_empty() && !s.recovery.is_empty());
+        }
+    }
+}

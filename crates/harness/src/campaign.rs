@@ -258,7 +258,12 @@ fn io_invalid(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
-/// Serializes and atomically writes the manifest.
+/// Serializes and atomically writes the manifest: temp file, fsync,
+/// rename, directory fsync. The temp-file fsync *before* the rename is
+/// load-bearing — renaming first would publish a directory entry whose
+/// bytes are still only in the page cache, and a crash right after could
+/// surface an empty or partial `campaign.json` where a good one used to
+/// be. On any failure the previous manifest is untouched.
 pub fn write_manifest(dir: &Path, seed: u64, entries: &[ManifestEntry]) -> io::Result<()> {
     let doc = Json::Obj(vec![
         ("format".into(), Json::Str("gwc-campaign".into())),
@@ -267,8 +272,17 @@ pub fn write_manifest(dir: &Path, seed: u64, entries: &[ManifestEntry]) -> io::R
         ("jobs".into(), Json::Arr(entries.iter().map(ManifestEntry::to_json).collect())),
     ]);
     let tmp = dir.join(".campaign.json.tmp");
-    fs::write(&tmp, doc.to_pretty())?;
-    fs::rename(&tmp, dir.join(MANIFEST_FILE))
+    {
+        let mut f = fs::File::create(&tmp)?;
+        gwc_failpoints::write_all("manifest.write", &mut f, doc.to_pretty().as_bytes())?;
+        gwc_failpoints::check("manifest.fsync")?;
+        f.sync_all()?;
+    }
+    gwc_failpoints::check("manifest.rename")?;
+    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    // And make the rename itself durable.
+    gwc_failpoints::check("manifest.dirsync")?;
+    fs::File::open(dir)?.sync_all()
 }
 
 /// Loads and validates a manifest. `expect_seed` guards against resuming
@@ -348,7 +362,7 @@ pub fn entry_from_report_named(
 ) -> io::Result<ManifestEntry> {
     let (output, output_crc, checkpoint, trace) = match &report.product {
         Some(product) => {
-            fs::write(dir.join(artifact), product.text.as_bytes())?;
+            gwc_failpoints::write_file("artifact.write", &dir.join(artifact), product.text.as_bytes())?;
             (
                 Some(artifact.to_owned()),
                 crc32(product.text.as_bytes()),
@@ -375,6 +389,34 @@ pub fn entry_from_report_named(
         trace,
         config: report.job.config,
     })
+}
+
+/// The durable row for a job whose result could not be persisted: the
+/// storage degrade policy. A success without its artifact is not a
+/// success, so the outcome demotes to [`Outcome::Skipped`] and the
+/// detail carries the typed fault ([`gwc_pipeline::SimError::Storage`])
+/// — the caller records the loss and keeps running instead of dying
+/// (fail-stop is reserved for the write-ahead journal itself).
+pub fn demoted_entry(report: &JobReport, what: &'static str, error: &io::Error) -> ManifestEntry {
+    let fault =
+        gwc_pipeline::SimError::Storage { what, detail: error.to_string() };
+    ManifestEntry {
+        id: report.job.id,
+        game: report.job.game.clone(),
+        experiment: report.job.experiment,
+        start_rung: report.job.start_rung,
+        final_rung: report.final_rung,
+        outcome: Outcome::Skipped,
+        attempts: report.attempts.iter().map(|a| a.result.label().to_owned()).collect(),
+        backoff_ms: report.attempts.iter().map(|a| a.backoff_ms).collect(),
+        work: report.total_work(),
+        detail: fault.to_string(),
+        output: None,
+        output_crc: 0,
+        checkpoint: None,
+        trace: None,
+        config: report.job.config,
+    }
 }
 
 /// Whether a prior entry can stand in for running `job` again. Terminal

@@ -66,8 +66,8 @@ pub mod lock;
 mod supervisor;
 
 pub use campaign::{
-    crc32, entry_from_report, entry_from_report_named, load_manifest, read_artifact, run_campaign,
-    write_manifest,
+    crc32, demoted_entry, entry_from_report, entry_from_report_named, load_manifest,
+    read_artifact, run_campaign, write_manifest,
     CampaignOptions, CampaignOutcome, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION, REPORT_FILE,
 };
 pub use chaos::{ChaosBehavior, ChaosRunner};

@@ -89,6 +89,9 @@ impl DirLock {
     /// [`LockError::Held`] naming it.
     pub fn acquire(dir: &Path, role: &str) -> Result<DirLock, LockError> {
         fs::create_dir_all(dir)?;
+        // Injected failure here maps to LockError::Io — nothing was
+        // claimed, a retry may succeed.
+        gwc_failpoints::check("lock.acquire")?;
         let path = dir.join(LOCK_FILE);
         // Open-or-create and never delete: the file itself is inert, only
         // the kernel lock on it means anything. (Unlinking on release
@@ -122,6 +125,9 @@ impl DirLock {
         file.set_len(0)?;
         (&file).write_all(body.as_bytes())?;
         file.sync_all()?;
+        // Crash-while-holding site: the torture harness aborts here to
+        // prove the kernel lock dies with the process (never wedges).
+        gwc_failpoints::check("lock.acquired")?;
         Ok(DirLock { _file: file, path })
     }
 

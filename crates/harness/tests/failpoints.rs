@@ -1,0 +1,131 @@
+//! In-process fault injection against the campaign's durability
+//! boundaries: the atomic manifest rewrite, the artifact-demotion
+//! policy, and the campaign directory lock.
+//!
+//! The torture harness (`repro torture`) proves the same sites through
+//! whole child processes; these tests pin the unit contracts each
+//! caller relies on.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use gwc_core::RunConfig;
+use gwc_harness::{
+    demoted_entry, load_manifest, write_manifest, DirLock, Experiment, Job, JobReport,
+    ManifestEntry, Outcome, Rung,
+};
+
+/// The failpoint registry is process-global; tests that arm it must not
+/// overlap.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gwc-harness-fp-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn report(outcome: Outcome, detail: &str) -> JobReport {
+    JobReport {
+        job: Job {
+            id: 0,
+            game: "Doom3/trdemo2".into(),
+            experiment: Experiment::Characterize,
+            config: RunConfig::quick(),
+            start_rung: Rung::Quick,
+            checkpoint: None,
+            trace: None,
+        },
+        outcome,
+        final_rung: Rung::Quick,
+        attempts: Vec::new(),
+        product: None,
+        detail: detail.into(),
+    }
+}
+
+fn ok_entry() -> ManifestEntry {
+    demoted_entry(
+        &report(Outcome::Ok, ""),
+        "artifact",
+        &io::Error::other("fixture"),
+    )
+}
+
+#[test]
+fn pre_rename_manifest_failures_keep_the_old_manifest_live() {
+    let _gate = exclusive();
+    for site in ["manifest.write", "manifest.fsync", "manifest.rename"] {
+        let dir = temp_dir(&site.replace('.', "-"));
+        write_manifest(&dir, 7, &[]).expect("seed an empty manifest");
+        gwc_failpoints::arm(&format!("{site}=eio@1"), 1).expect("arm");
+        let e = write_manifest(&dir, 7, &[ok_entry()]).expect_err("rewrite fails");
+        gwc_failpoints::disarm();
+        assert!(e.to_string().contains(site), "{site}: typed error names the site: {e}");
+        // The atomic-rewrite contract: a failure before the rename
+        // publishes nothing — the previous manifest still parses.
+        let entries = load_manifest(&dir, 7).expect("old manifest still loads");
+        assert!(entries.is_empty(), "{site}: the failed rewrite must not be visible");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn post_rename_dirsync_failure_still_published_the_new_manifest() {
+    let _gate = exclusive();
+    let dir = temp_dir("manifest-dirsync");
+    write_manifest(&dir, 7, &[]).expect("seed an empty manifest");
+    gwc_failpoints::arm("manifest.dirsync=eio@1", 1).expect("arm");
+    let e = write_manifest(&dir, 7, &[ok_entry()]).expect_err("dirsync fails");
+    gwc_failpoints::disarm();
+    assert!(e.to_string().contains("manifest.dirsync"), "typed error names the site: {e}");
+    // The rename went through; the caller surfaces the error (durability
+    // unproven) but whatever a reader finds must be the parseable new
+    // manifest, never a half-written one.
+    let entries = load_manifest(&dir, 7).expect("renamed manifest parses");
+    assert_eq!(entries.len(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_demotion_is_typed_skipped_and_carries_no_output() {
+    let entry = demoted_entry(
+        &report(Outcome::Ok, ""),
+        "artifact",
+        &io::Error::new(io::ErrorKind::StorageFull, "disk full"),
+    );
+    assert_eq!(entry.outcome, Outcome::Skipped);
+    assert!(
+        entry.detail.contains("storage fault persisting artifact"),
+        "detail classifies the fault: {}",
+        entry.detail
+    );
+    assert!(entry.detail.contains("disk full"), "detail keeps the cause: {}", entry.detail);
+    assert_eq!(entry.output, None, "a demoted entry must not point at a missing artifact");
+    assert_eq!(entry.output_crc, 0);
+}
+
+#[test]
+fn lock_acquire_failure_is_typed_and_transient() {
+    let _gate = exclusive();
+    let dir = temp_dir("lock-acquire");
+    gwc_failpoints::arm("lock.acquire=eio@1", 1).expect("arm");
+    let e = DirLock::acquire(&dir, "campaign").expect_err("acquire fails");
+    gwc_failpoints::disarm();
+    assert!(
+        e.to_string().contains("failpoint lock.acquire"),
+        "typed error names the site: {e}"
+    );
+    // The failure left no half-taken lock behind: a retry wins cleanly.
+    let lock = DirLock::acquire(&dir, "campaign").expect("retry acquires");
+    drop(lock);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -22,8 +22,9 @@ const MAGIC: [u8; 4] = *b"GWCK";
 /// and made the framebuffer cache records per-stripe in `FRAM` (the
 /// stripe-parallel fragment pipeline). Version 3 appended the work-tick
 /// clock to `CONF` so resumed runs continue the telemetry timebase.
-/// Older blobs are rejected.
-const VERSION: u16 = 3;
+/// Version 4 widened the `STAT` fault counters from 6 to 7 slots
+/// (`FaultKind::Storage`). Older blobs are rejected.
+const VERSION: u16 = 4;
 
 /// Errors produced when reading a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

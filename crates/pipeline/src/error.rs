@@ -25,17 +25,24 @@ pub enum FaultKind {
     AllocationOverflow,
     /// The memory controller reported corrupted read data.
     MemoryFault,
+    /// Durable storage failed while persisting a result (artifact,
+    /// manifest, checkpoint): EIO, ENOSPC, short or torn write. Never
+    /// raised by the simulation itself — the harness and daemon classify
+    /// persistence failures here so degrade decisions ride the same
+    /// taxonomy as simulation faults.
+    Storage,
 }
 
 impl FaultKind {
     /// All kinds, in counter order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::UnboundResource,
         FaultKind::IndexOutOfRange,
         FaultKind::NonFiniteVertex,
         FaultKind::ShaderFault,
         FaultKind::AllocationOverflow,
         FaultKind::MemoryFault,
+        FaultKind::Storage,
     ];
 
     /// Position of this kind in [`FaultKind::ALL`] (counter slot).
@@ -52,6 +59,7 @@ impl FaultKind {
             FaultKind::ShaderFault => "shader-fault",
             FaultKind::AllocationOverflow => "allocation-overflow",
             FaultKind::MemoryFault => "memory-fault",
+            FaultKind::Storage => "storage",
         }
     }
 }
@@ -110,6 +118,16 @@ pub enum SimError {
         /// Number of corrupted reads observed while executing the command.
         count: u64,
     },
+    /// Durable storage failed while persisting a result. The degrade
+    /// policy: the write-ahead journal fail-stops on this, everything
+    /// else (artifacts, reports) demotes the one affected result and
+    /// carries on.
+    Storage {
+        /// What was being persisted ("artifact", "manifest", "checkpoint").
+        what: &'static str,
+        /// The underlying I/O error, as text (I/O errors don't clone).
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -122,6 +140,7 @@ impl SimError {
             SimError::ShaderFault { .. } => FaultKind::ShaderFault,
             SimError::AllocationOverflow { .. } => FaultKind::AllocationOverflow,
             SimError::MemoryFault { .. } => FaultKind::MemoryFault,
+            SimError::Storage { .. } => FaultKind::Storage,
         }
     }
 }
@@ -149,6 +168,9 @@ impl fmt::Display for SimError {
             }
             SimError::MemoryFault { client, count } => {
                 write!(f, "{count} corrupted read(s) on memory client {client}")
+            }
+            SimError::Storage { what, detail } => {
+                write!(f, "storage fault persisting {what}: {detail}")
             }
         }
     }
@@ -187,7 +209,13 @@ mod tests {
         assert_eq!(e.kind().name(), "unbound-resource");
         let e = SimError::IndexOutOfRange { what: "index", index: 9, limit: 4 };
         assert_eq!(e.kind(), FaultKind::IndexOutOfRange);
-        assert_eq!(FaultKind::ALL.len(), 6);
+        let e = SimError::Storage { what: "artifact", detail: "No space left".into() };
+        assert_eq!(e.kind(), FaultKind::Storage);
+        assert!(e.to_string().contains("artifact") && e.to_string().contains("No space"));
+        assert_eq!(FaultKind::ALL.len(), 7);
+        for (i, k) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "counter slots must match ALL order");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::budget::CancelToken;
 use crate::checkpoint::{self, CheckpointError, Dec, Enc, SectionWriter};
 use crate::colorbuffer::ColorBuffer;
 use crate::config::GpuConfig;
-use crate::error::{FaultPolicy, SimError};
+use crate::error::{FaultKind, FaultPolicy, SimError};
 use crate::fragment::{DrawPacket, StripeJob, StripeOutcome, StripeTrace, StripeUnits};
 use crate::geometry::{self, GeomOutput, GeomRequest, SetupState};
 use crate::stats::{FrameSimStats, SimStats};
@@ -1664,7 +1664,7 @@ impl Gpu {
             }
             frames.push(FrameSimStats::from_counters(&counters));
         }
-        let mut faults = [0u64; 6];
+        let mut faults = [0u64; FaultKind::ALL.len()];
         for f in &mut faults {
             *f = stat.u64()?;
         }

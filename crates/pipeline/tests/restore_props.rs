@@ -1,0 +1,96 @@
+//! Crash-consistency property tests for GWCK checkpoint restore.
+//!
+//! `repro replay --resume` feeds whatever bytes it finds on disk into
+//! [`Gpu::restore_checkpoint`]; a torn write, a truncated copy, or
+//! bit-rot must come back as a typed [`CheckpointError`] — never a
+//! panic, never a silently wrong GPU. These properties mutate a genuine
+//! checkpoint every way a failing disk does (the same shapes
+//! `gwc-failpoints` injects at the `gwck.write` site) and assert the
+//! decoder's total-function contract.
+
+use gwc_api::{ClearMask, Command, CommandSink};
+use gwc_math::Vec4;
+use gwc_pipeline::{Gpu, GpuConfig};
+use proptest::prelude::*;
+
+const W: u32 = 48;
+const H: u32 = 36;
+
+/// A real checkpoint from a GPU that has done a frame of work, so every
+/// section is present and non-trivial.
+fn reference_blob() -> Vec<u8> {
+    let mut gpu = Gpu::new(GpuConfig::r520(W, H));
+    gpu.consume(&Command::Clear {
+        mask: ClearMask::ALL,
+        color: Vec4::new(0.2, 0.4, 0.6, 1.0),
+        depth: 1.0,
+        stencil: 0,
+    });
+    gpu.consume(&Command::EndFrame);
+    gpu.save_checkpoint()
+}
+
+fn restore(bytes: &[u8]) -> Result<Gpu, gwc_pipeline::CheckpointError> {
+    Gpu::restore_checkpoint(GpuConfig::r520(W, H), bytes)
+}
+
+proptest! {
+    /// Truncation at any offset — the shape a short or torn write
+    /// leaves — yields a typed error, never a panic. (The full blob is
+    /// the one length that must restore.)
+    #[test]
+    fn any_truncation_fails_typed(cut in 0usize..4096) {
+        let blob = reference_blob();
+        prop_assume!(cut < blob.len());
+        let err = restore(&blob[..cut]);
+        prop_assert!(err.is_err(), "a {cut}-byte prefix of {} restored", blob.len());
+    }
+
+    /// A single flipped bit anywhere in the blob is caught — by magic,
+    /// version, framing, CRC, or the section decoders — or, if it
+    /// restores at all, restores to a checkpoint-identical GPU (a flip
+    /// in padding the format never reads is acceptable; silent state
+    /// corruption is not).
+    #[test]
+    fn single_bit_flips_never_corrupt_silently(pos in 0usize..4096, bit in 0u8..8) {
+        let blob = reference_blob();
+        prop_assume!(pos < blob.len());
+        let mut bent = blob.clone();
+        bent[pos] ^= 1 << bit;
+        if let Ok(gpu) = restore(&bent) {
+            prop_assert_eq!(
+                gpu.save_checkpoint(),
+                blob,
+                "bit {bit} of byte {pos} changed the blob yet restored to different state"
+            );
+        }
+    }
+
+    /// Arbitrary byte soup — including the empty file a crashed
+    /// `File::create` leaves — is rejected typed, never a panic.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = restore(&bytes);
+    }
+
+    /// Random splices of checkpoint fragments: valid framing bytes in
+    /// the wrong order, duplicated sections, swapped tails. The decoder
+    /// must classify every one.
+    #[test]
+    fn spliced_checkpoints_never_panic(at in 0usize..4096, skip in 1usize..256) {
+        let blob = reference_blob();
+        prop_assume!(at < blob.len());
+        let mut spliced = blob[..at].to_vec();
+        spliced.extend_from_slice(&blob[at.saturating_add(skip).min(blob.len())..]);
+        prop_assume!(spliced.len() != blob.len());
+        let err = restore(&spliced);
+        prop_assert!(err.is_err(), "a spliced checkpoint (cut {at}, skip {skip}) restored");
+    }
+}
+
+#[test]
+fn the_unmutated_blob_restores_bit_identically() {
+    let blob = reference_blob();
+    let gpu = restore(&blob).expect("the genuine checkpoint restores");
+    assert_eq!(gpu.save_checkpoint(), blob, "restore must round-trip");
+}

@@ -50,7 +50,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gwc_harness::json::Json;
-use gwc_harness::{entry_from_report_named, read_artifact, DirLock, ManifestEntry, Supervisor};
+use gwc_harness::{
+    demoted_entry, entry_from_report_named, read_artifact, DirLock, ManifestEntry, Supervisor,
+};
 
 pub use jobspec::{content_hash, parse_submission, JobSpec};
 pub use state::{Admission, DaemonState, Phase, StatePolicy};
@@ -79,6 +81,10 @@ pub struct ServeConfig {
     pub wal_rotate_bytes: u64,
     /// Concurrent connection cap; excess connections get an instant 503.
     pub max_connections: usize,
+    /// How long a graceful drain may wait on in-flight jobs before the
+    /// daemon forces exit (code 3). A second SIGTERM/SIGINT forces it
+    /// immediately.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +96,7 @@ impl Default for ServeConfig {
             policy: StatePolicy::default(),
             wal_rotate_bytes: 256 * 1024,
             max_connections: 32,
+            drain_timeout: Duration::from_secs(600),
         }
     }
 }
@@ -112,6 +119,10 @@ struct Shared {
     fatal: AtomicBool,
     /// Live connection handler count, for the shutdown grace wait.
     conns: AtomicUsize,
+    /// Live worker count, so the drain loop can tell "all workers exited"
+    /// from "a worker is wedged on a hung job" without blocking in
+    /// `join`.
+    workers_live: AtomicUsize,
 }
 
 impl Shared {
@@ -142,8 +153,20 @@ impl Drop for ConnGuard {
     }
 }
 
+/// Decrements the live-worker count however the worker exits — clean
+/// return, fail-stop, or a panic that escaped the supervisor.
+struct WorkerGuard<'a>(&'a Shared);
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.workers_live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Runs the daemon until drained. Returns the process exit code:
-/// `0` after a clean drain, `1` after a journal-failure fail-stop.
+/// `0` after a clean drain, `1` after a journal-failure fail-stop,
+/// `3` after a forced drain (deadline expiry or a second signal) that
+/// abandoned a wedged worker.
 pub fn run(cfg: &ServeConfig, supervisor: Supervisor) -> io::Result<i32> {
     fs::create_dir_all(&cfg.data_dir)?;
     let _lock = DirLock::acquire(&cfg.data_dir, "serve")
@@ -184,19 +207,28 @@ pub fn run(cfg: &ServeConfig, supervisor: Supervisor) -> io::Result<i32> {
         data_dir: cfg.data_dir.clone(),
         fatal: AtomicBool::new(false),
         conns: AtomicUsize::new(0),
+        workers_live: AtomicUsize::new(0),
     });
     let supervisor = Arc::new(supervisor);
 
     let mut workers = Vec::new();
     for n in 0..cfg.workers {
-        let shared = Arc::clone(&shared);
+        let shared_w = Arc::clone(&shared);
         let supervisor = Arc::clone(&supervisor);
         let rotate = cfg.wal_rotate_bytes;
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("gwc-serve-worker-{n}"))
-                .spawn(move || worker_loop(&shared, &supervisor, rotate))?,
-        );
+        // Count the worker before it exists; its guard decrements on any
+        // exit. A failed spawn never ran the closure, so undo by hand.
+        shared.workers_live.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
+            .name(format!("gwc-serve-worker-{n}"))
+            .spawn(move || worker_loop(&shared_w, &supervisor, rotate));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                shared.workers_live.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
     }
     shared.lock().state.set_ready();
 
@@ -245,6 +277,39 @@ pub fn run(cfg: &ServeConfig, supervisor: Supervisor) -> io::Result<i32> {
         );
     }
     shared.work.notify_all();
+    // Wait for workers without blocking in `join`: a job wedged on a hung
+    // device would otherwise pin the drain forever. The deadline and a
+    // second signal both force the exit; `escalate` is the signal count
+    // that means "force" — one more than what started this drain (a
+    // fail-stop's own request does not count as operator escalation).
+    let deadline = Instant::now() + cfg.drain_timeout;
+    let mut forced = false;
+    while shared.workers_live.load(Ordering::SeqCst) > 0 {
+        let escalate = 2 + u32::from(shared.fatal.load(Ordering::SeqCst));
+        if sig::count() >= escalate {
+            eprintln!("gwc-serve: second drain signal: forcing exit");
+            forced = true;
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "gwc-serve: drain deadline ({:?}) expired with a job still running: forcing exit",
+                cfg.drain_timeout
+            );
+            forced = true;
+            break;
+        }
+        shared.work.notify_all();
+        std::thread::sleep(POLL_INTERVAL);
+    }
+    if forced {
+        // Abandon the wedged worker (the process is about to exit, which
+        // reaps it); everything acked is journaled, so the next boot
+        // re-runs the in-flight job from its `started` record.
+        eprintln!("gwc-serve: forced drain, exit 3 (in-flight work stays journaled)");
+        io::stderr().flush().ok();
+        return Ok(3);
+    }
     for worker in workers {
         let _ = worker.join();
     }
@@ -290,6 +355,7 @@ pub fn fold_records(records: &[Record]) -> Vec<(JobSpec, u32, Option<ManifestEnt
 /// One worker: pop, journal `started`, execute outside the lock, journal
 /// `done`, repeat until drain.
 fn worker_loop(shared: &Shared, supervisor: &Supervisor, rotate_bytes: u64) {
+    let _live = WorkerGuard(shared);
     loop {
         let spec = {
             let mut core = shared.lock();
@@ -316,6 +382,13 @@ fn worker_loop(shared: &Shared, supervisor: &Supervisor, rotate_bytes: u64) {
             }
         };
 
+        // The crash/hang site between the journaled `started` and the
+        // job running — the torture harness aborts or wedges here to
+        // prove re-run-on-restart and the forced-drain escalation.
+        // Error actions are meaningless at this site (nothing has been
+        // written yet), so only abort/hang have any effect.
+        let _ = gwc_failpoints::check("serve.job.run");
+
         // The expensive part runs without the lock; the supervisor owns
         // panic isolation, watchdogs, retries, and the ladder.
         let job = spec.to_job(&shared.data_dir);
@@ -324,8 +397,15 @@ fn worker_loop(shared: &Shared, supervisor: &Supervisor, rotate_bytes: u64) {
         {
             Ok(entry) => entry,
             Err(e) => {
-                shared.fail_stop("persisting job artifact", &e);
-                return;
+                // Typed degrade, not fail-stop: losing an artifact to
+                // EIO/ENOSPC loses one result, not the daemon. The job
+                // is journaled as demoted with the storage fault in its
+                // detail; only WAL failures are fatal.
+                eprintln!(
+                    "gwc-serve: artifact for job {} not persisted, demoting: {e}",
+                    spec.hash
+                );
+                demoted_entry(&report, "artifact", &e)
             }
         };
 
@@ -341,9 +421,19 @@ fn worker_loop(shared: &Shared, supervisor: &Supervisor, rotate_bytes: u64) {
             let live = core.state.snapshot();
             let before = core.wal.len();
             match core.wal.rotate(&live) {
-                // Rotation failure is not fatal: the journal is intact,
-                // merely uncompacted.
-                Err(e) => eprintln!("gwc-serve: journal rotation failed (non-fatal): {e}"),
+                // Pre-rename failure is not fatal: the journal is
+                // intact, merely uncompacted.
+                Err(e) if e.journal_intact => {
+                    eprintln!("gwc-serve: journal rotation failed (non-fatal): {e}");
+                }
+                // An unsynced rename is a durability hole: a crash could
+                // resurface the old journal and drop every append since.
+                // Same policy as a failed append — fail-stop.
+                Err(e) => {
+                    drop(core);
+                    shared.fail_stop("making journal rotation durable", &e.error);
+                    return;
+                }
                 Ok(()) => eprintln!(
                     "gwc-serve: journal rotated, {} -> {} bytes",
                     before,

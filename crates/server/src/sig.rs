@@ -3,19 +3,24 @@
 //! The workspace vendors no crates, so there is no `libc` or `signal-hook`
 //! to lean on. This module declares the C `signal(2)` entry point directly
 //! and installs a handler that does the only thing an async-signal-safe
-//! handler may do here: flip an [`AtomicBool`]. The accept loop runs
-//! nonblocking and polls the flag, so a `SIGTERM` begins a graceful drain
-//! within one poll interval even though glibc's `signal()` semantics
-//! restart blocking syscalls.
+//! handler may do here: bump an [`AtomicU32`]. The accept loop runs
+//! nonblocking and polls the counter, so a `SIGTERM` begins a graceful
+//! drain within one poll interval even though glibc's `signal()`
+//! semantics restart blocking syscalls.
+//!
+//! The *count* matters, not just the flag: the first signal starts a
+//! graceful drain, a second one escalates to a forced drain (exit 3)
+//! instead of waiting on a hung job forever.
 //!
 //! Every other crate in the workspace forbids `unsafe`; the two calls
 //! below are the entire unsafe surface of the daemon, confined to this
 //! module.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Set by the handler; the server polls it to begin draining.
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Bumped by the handler; the server polls it to begin (and escalate)
+/// draining.
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
 
 #[cfg(unix)]
 const SIGINT: i32 = 2;
@@ -23,7 +28,9 @@ const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
 extern "C" fn on_signal(_signum: i32) {
-    SHUTDOWN.store(true, Ordering::SeqCst);
+    // fetch_add on an atomic is async-signal-safe (lock-free on every
+    // tier-1 target).
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
 }
 
 /// Installs the drain handler for `SIGTERM` and `SIGINT`.
@@ -48,20 +55,27 @@ pub fn install() {}
 
 /// Whether a drain signal has arrived (or [`request`] was called).
 pub fn requested() -> bool {
-    SHUTDOWN.load(Ordering::SeqCst)
+    count() > 0
+}
+
+/// How many drain requests have arrived. 0 = keep serving, 1 = graceful
+/// drain, ≥2 = force the drain.
+pub fn count() -> u32 {
+    SIGNALS.load(Ordering::SeqCst)
 }
 
 /// Requests a drain from process context (`POST /shutdown` funnels
-/// through the same flag as `SIGTERM`, so there is one drain path).
+/// through the same counter as `SIGTERM`, so there is one drain path —
+/// and a second `/shutdown`, like a second signal, forces it).
 pub fn request() {
-    SHUTDOWN.store(true, Ordering::SeqCst);
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
 }
 
-/// Clears the flag. The flag is process-global, so in-process tests that
+/// Clears the counter. It is process-global, so in-process tests that
 /// exercise drain must reset it; the daemon itself never does (a second
-/// `SIGTERM` during drain should stay a drain, not restart admission).
+/// `SIGTERM` during drain escalates, it never restarts admission).
 pub fn reset() {
-    SHUTDOWN.store(false, Ordering::SeqCst);
+    SIGNALS.store(0, Ordering::SeqCst);
 }
 
 #[cfg(test)]
@@ -72,8 +86,12 @@ mod tests {
     fn request_sets_the_flag_install_is_safe_to_repeat() {
         install();
         install();
+        reset();
         request();
         assert!(requested());
+        assert_eq!(count(), 1);
+        request();
+        assert_eq!(count(), 2, "repeat requests escalate, not saturate");
         reset();
         assert!(!requested());
     }

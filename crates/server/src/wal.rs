@@ -40,8 +40,9 @@
 //! temp file, fsynced, and atomically renamed over the journal — the
 //! same temp-and-rename discipline the campaign manifest uses.
 
+use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use gwc_harness::json::{parse, Json};
@@ -189,6 +190,7 @@ impl Wal {
         let outcome = scan(&bytes);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         if outcome.tail_discarded {
+            gwc_failpoints::check("wal.open.truncate")?;
             file.set_len(outcome.valid_bytes)?;
             file.sync_all()?;
         }
@@ -201,7 +203,8 @@ impl Wal {
     pub fn append(&mut self, record: &Record) -> io::Result<()> {
         let payload = record.to_json().to_pretty();
         let framed = frame(payload.as_bytes());
-        self.file.write_all(&framed)?;
+        gwc_failpoints::write_all("wal.append.write", &mut self.file, &framed)?;
+        gwc_failpoints::check("wal.append.fsync")?;
         self.file.sync_data()?;
         self.len += framed.len() as u64;
         Ok(())
@@ -221,35 +224,76 @@ impl Wal {
     /// fsync, and atomic rename. The replacement append handle is opened
     /// on the temp file *before* the rename — afterwards that inode *is*
     /// the journal, so the swap cannot half-complete and leave appends
-    /// going to an unlinked file. Every fallible step happens before the
-    /// rename: on any failure the original journal and handle are
-    /// untouched, which is what makes a rotation error genuinely
-    /// non-fatal for the caller.
-    pub fn rotate(&mut self, live: &[Record]) -> io::Result<()> {
+    /// going to an unlinked file.
+    ///
+    /// Failures split in two by [`RotateError::journal_intact`]:
+    ///
+    /// - every step up to and including the rename leaves the original
+    ///   journal and handle untouched on failure (`journal_intact:
+    ///   true`) — genuinely non-fatal, the caller keeps appending to the
+    ///   uncompacted journal;
+    /// - a failed *directory fsync after the rename* is a durability
+    ///   hole (`journal_intact: false`): appends now land in the new
+    ///   inode, but a crash could resurface the old directory entry and
+    ///   silently drop them. Callers must treat it like a failed append
+    ///   and fail-stop.
+    pub fn rotate(&mut self, live: &[Record]) -> Result<(), RotateError> {
+        let intact = |error: io::Error| RotateError { error, journal_intact: true };
         let tmp_path = self.path.with_extension("wal.tmp");
-        let mut written = 0u64;
+        let mut framed = Vec::new();
+        for record in live {
+            framed.extend_from_slice(&frame(record.to_json().to_pretty().as_bytes()));
+        }
+        let written = framed.len() as u64;
         {
-            let mut tmp = File::create(&tmp_path)?;
-            for record in live {
-                let framed = frame(record.to_json().to_pretty().as_bytes());
-                tmp.write_all(&framed)?;
-                written += framed.len() as u64;
-            }
-            tmp.sync_all()?;
+            let mut tmp = File::create(&tmp_path).map_err(intact)?;
+            gwc_failpoints::write_all("wal.rotate.write", &mut tmp, &framed).map_err(intact)?;
+            gwc_failpoints::check("wal.rotate.fsync").map_err(intact)?;
+            tmp.sync_all().map_err(intact)?;
         }
-        let file = OpenOptions::new().append(true).open(&tmp_path)?;
-        fs::rename(&tmp_path, &self.path)?;
-        // Make the rename itself durable before the old handle goes away.
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
+        let file = OpenOptions::new().append(true).open(&tmp_path).map_err(intact)?;
+        gwc_failpoints::check("wal.rotate.rename").map_err(intact)?;
+        fs::rename(&tmp_path, &self.path).map_err(intact)?;
+        // The rename has happened: from here the temp inode IS the
+        // journal, so the handle and length swap over even on error.
         self.file = file;
         self.len = written;
-        Ok(())
+        // Make the rename itself durable. If this fails, a crash can
+        // resurface the pre-rotation directory entry while our appends go
+        // to the new inode — report it as journal-compromising.
+        let dirsync = gwc_failpoints::check("wal.rotate.dirsync").and_then(|()| {
+            match self.path.parent() {
+                Some(dir) => File::open(dir)?.sync_all(),
+                None => Ok(()),
+            }
+        });
+        dirsync.map_err(|error| RotateError { error, journal_intact: false })
     }
 }
+
+/// Why a [`Wal::rotate`] failed, and whether the journal survived it.
+#[derive(Debug)]
+pub struct RotateError {
+    /// The underlying I/O failure.
+    pub error: io::Error,
+    /// `true`: the pre-rotation journal and append handle are untouched
+    /// (the caller may keep going). `false`: the compaction rename is
+    /// not durably published — further appends risk silent loss across a
+    /// crash, so the caller must fail-stop.
+    pub journal_intact: bool,
+}
+
+impl fmt::Display for RotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.journal_intact {
+            write!(f, "journal rotation failed (journal intact): {}", self.error)
+        } else {
+            write!(f, "journal rotation not durable (rename unsynced): {}", self.error)
+        }
+    }
+}
+
+impl std::error::Error for RotateError {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,143 @@
+//! In-process fault injection against the write-ahead journal.
+//!
+//! The torture harness (`repro torture`) proves these same boundaries
+//! end to end through child processes; these tests pin the *unit*
+//! contracts — which typed error each armed site produces, what lands
+//! on disk, and the [`RotateError::journal_intact`] split between
+//! recoverable pre-rename failures and the fail-stop dirsync hole.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use gwc_server::{Record, Wal, WAL_FILE};
+
+/// The failpoint registry is process-global; tests that arm it must not
+/// overlap.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gwc-wal-fp-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn torn_append_leaves_a_repairable_tail() {
+    let _gate = exclusive();
+    let dir = temp_dir("torn-append");
+    {
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        wal.append(&Record::Started("aa".into())).expect("clean append");
+        gwc_failpoints::arm("wal.append.write=torn@1", 1).expect("arm");
+        let e = wal.append(&Record::Started("bb".into())).expect_err("torn append fails");
+        gwc_failpoints::disarm();
+        assert!(e.to_string().contains("wal.append.write"), "typed error names the site: {e}");
+    }
+    // The torn frame is on disk; reopening repairs it back to the last
+    // full frame and appends resume from there.
+    let (mut wal, outcome) = Wal::open(&dir).expect("reopen");
+    assert_eq!(outcome.records, vec![Record::Started("aa".into())]);
+    assert!(outcome.tail_discarded, "the partial frame must be detected and discarded");
+    wal.append(&Record::Started("cc".into())).expect("append after repair");
+    let (_, outcome) = Wal::open(&dir).expect("re-reopen");
+    assert_eq!(outcome.records, vec![Record::Started("aa".into()), Record::Started("cc".into())]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_failure_is_typed_and_the_frame_is_complete() {
+    let _gate = exclusive();
+    let dir = temp_dir("fsync");
+    {
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        gwc_failpoints::arm("wal.append.fsync=eio@1", 1).expect("arm");
+        let e = wal.append(&Record::Started("aa".into())).expect_err("fsync fails");
+        gwc_failpoints::disarm();
+        assert!(e.to_string().contains("wal.append.fsync"), "typed error names the site: {e}");
+    }
+    // The frame itself was fully written before the fsync refused — the
+    // caller fail-stops anyway (durability is unproven), but a reopen
+    // that *does* find the bytes must replay them, not discard them.
+    let (_, outcome) = Wal::open(&dir).expect("reopen");
+    assert_eq!(outcome.records, vec![Record::Started("aa".into())]);
+    assert!(!outcome.tail_discarded);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pre_rename_rotation_failures_leave_the_journal_intact() {
+    let _gate = exclusive();
+    for site in ["wal.rotate.write", "wal.rotate.fsync", "wal.rotate.rename"] {
+        let dir = temp_dir(&site.replace('.', "-"));
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        wal.append(&Record::Started("aa".into())).expect("append");
+        gwc_failpoints::arm(&format!("{site}=eio@1"), 1).expect("arm");
+        let e = wal.rotate(&[Record::Started("aa".into())]).expect_err("rotation fails");
+        gwc_failpoints::disarm();
+        assert!(e.journal_intact, "{site}: pre-rename failure must report the journal intact");
+        assert!(e.to_string().contains(site), "{site}: error names the site: {e}");
+        // The live handle still appends to the real, linked journal.
+        wal.append(&Record::Started("bb".into())).expect("append after failed rotation");
+        let (_, outcome) = Wal::open(&dir).expect("reopen");
+        assert_eq!(
+            outcome.records,
+            vec![Record::Started("aa".into()), Record::Started("bb".into())],
+            "{site}: appends after the failed rotation must survive a reopen"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn post_rename_dirsync_failure_is_not_intact_but_the_swap_held() {
+    let _gate = exclusive();
+    let dir = temp_dir("dirsync");
+    let (mut wal, _) = Wal::open(&dir).expect("open");
+    for i in 0..4 {
+        wal.append(&Record::Started(format!("{i:02x}"))).expect("append");
+    }
+    gwc_failpoints::arm("wal.rotate.dirsync=eio@1", 1).expect("arm");
+    let live = vec![Record::Started("aa".into())];
+    let e = wal.rotate(&live).expect_err("dirsync fails");
+    gwc_failpoints::disarm();
+    assert!(
+        !e.journal_intact,
+        "an unsynced rename is a durability hole the caller must fail-stop on"
+    );
+    // The rename itself went through: the compacted file is the journal
+    // and the handle already points into it.
+    let (_, outcome) = Wal::open(&dir).expect("reopen");
+    assert_eq!(outcome.records, live);
+    assert!(!wal.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn boot_time_tail_repair_failure_is_typed() {
+    let _gate = exclusive();
+    let dir = temp_dir("open-truncate");
+    {
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        wal.append(&Record::Started("aa".into())).expect("append");
+    }
+    let path = dir.join(WAL_FILE);
+    let mut bytes = fs::read(&path).expect("read journal");
+    bytes.extend_from_slice(b"\xff\xff torn tail");
+    fs::write(&path, &bytes).expect("stage torn tail");
+    gwc_failpoints::arm("wal.open.truncate=eio@1", 1).expect("arm");
+    let e = Wal::open(&dir).expect_err("repair fails typed");
+    gwc_failpoints::disarm();
+    assert!(e.to_string().contains("wal.open.truncate"), "error names the site: {e}");
+    // The transient cleared: the next open repairs and serves.
+    let (_, outcome) = Wal::open(&dir).expect("clean reopen");
+    assert_eq!(outcome.records, vec![Record::Started("aa".into())]);
+    assert!(outcome.tail_discarded);
+    let _ = fs::remove_dir_all(&dir);
+}
