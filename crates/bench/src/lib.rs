@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
@@ -506,8 +508,72 @@ impl JobRunner for ReproRunner {
             Experiment::Ablations => ablations_report(&config, Some(token))
                 .map(|text| JobProduct { text, checkpoint: None, trace: None })
                 .ok_or_else(|| cancelled_err(token)),
+            Experiment::Scenario => scenario_job(&job.game, &config, token),
         }
     }
+}
+
+/// Runs one sweep job: a `scn:` scenario cell, or a Table I reference
+/// game simulated through the same pipeline so the sweep can rank cells
+/// by feature-space distance from the paper games. The artifact carries
+/// the feature-vector CSV row plus one verdict line per declared
+/// characteristic; any violated characteristic fails the job.
+fn scenario_job(game: &str, config: &RunConfig, token: &CancelToken) -> Result<JobProduct, JobError> {
+    use gwc_scenarios::{run_scenario_supervised, ScenarioConfig, ScenarioSpec};
+    let frames = config.sim_frames.max(1);
+    let mut text = format!(
+        "scenario: {game} seed={} frames={frames} {}x{}\n",
+        config.seed, config.width, config.height
+    );
+    match ScenarioSpec::parse(game) {
+        Some(Ok(spec)) => {
+            let scn = ScenarioConfig { frames, seed: config.seed };
+            let run = run_scenario_supervised(spec, scn, config.width, config.height, Some(token))
+                .ok_or_else(|| cancelled_err(token))?;
+            let _ = writeln!(text, "features: {}", run.vector.to_csv_row());
+            let mut failures = Vec::new();
+            for (e, r) in &run.verdicts {
+                match r {
+                    Ok(v) => {
+                        let _ = writeln!(text, "expect: {} ok measured={v:.4}", e.describe());
+                    }
+                    Err(m) => {
+                        let _ = writeln!(text, "expect: {} FAIL {m}", e.describe());
+                        failures.push(m.clone());
+                    }
+                }
+            }
+            let _ = writeln!(text, "fb_crc: {:#010x}", run.fb_crc);
+            if !failures.is_empty() {
+                return Err(JobError::Failed(format!(
+                    "declared characteristics violated: {}",
+                    failures.join("; ")
+                )));
+            }
+        }
+        Some(Err(e)) => return Err(JobError::Failed(e)),
+        None => {
+            // Reference game: one emission pass through ApiStats + Gpu.
+            // The characterize gate (`profile.simulated`) is deliberately
+            // bypassed — distance ranking needs microarchitectural
+            // vectors for all twelve games.
+            let profile = GameProfile::by_name(game)
+                .ok_or_else(|| JobError::Failed(format!("unknown game '{game}'")))?;
+            let mut demo =
+                Timedemo::new(profile, TimedemoConfig { frames, seed: config.seed });
+            let mut api = gwc_api::ApiStats::new();
+            let mut gpu = Gpu::new(GpuConfig::r520(config.width, config.height));
+            gpu.set_cancel_token(token.clone());
+            demo.emit_all(&mut gwc_api::Tee { a: &mut api, b: &mut gpu });
+            if token.is_cancelled() {
+                return Err(cancelled_err(token));
+            }
+            let vector = gwc_scenarios::reduce(game, &api, &gpu, config.width, config.height);
+            let _ = writeln!(text, "features: {}", vector.to_csv_row());
+            let _ = writeln!(text, "fb_crc: {:#010x}", gpu.framebuffer_crc());
+        }
+    }
+    Ok(JobProduct { text, checkpoint: None, trace: None })
 }
 
 /// The trace stem a traced campaign/study job uses (artifact file names

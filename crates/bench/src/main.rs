@@ -46,6 +46,15 @@ experiments:
                        isolation, watchdog deadlines, bounded retry, and a
                        degradation ladder; progress persists to
                        <dir>/campaign.json for --resume
+  sweep                expand a procedural-scenario grid (--grid) and run
+                       every cell as a supervised campaign job: each cell
+                       is a seeded synthetic workload that emits an
+                       AIWC-style feature vector and asserts its declared
+                       characteristics post-run; the summary ranks cells
+                       by feature-space distance from the twelve paper
+                       games and writes sweep-features.csv into --dir
+                       (supervision flags --dir / --resume / --stop-after
+                       apply exactly as for 'campaign')
   trace                run one timedemo with the telemetry collector and
                        export a Perfetto/Chrome JSON trace, a per-frame
                        CSV time-series, and a GWTB binary — validated
@@ -125,6 +134,21 @@ campaign / supervision options:
                        failures into jobs (exercises the supervisor)
   --stop-after N       stop — as if killed — after executing N jobs
                        (exercises --resume)
+
+sweep options:
+  --grid SPEC          the scenario grid: 'key=value[,value...]' clauses
+                       joined by ';', keys archetype (corridor, terrain,
+                       storm, foliage, crowd), style (prepass, stencil,
+                       manypass, post), api (sorted, tiny, mega, thrash),
+                       seeds (replicas per cell); 'all' selects every
+                       value of an axis, omitted axes default to a single
+                       value (e.g. --grid 'archetype=all; style=prepass,
+                       post; api=sorted; seeds=2')
+  --dry-run            print the expanded grid and job list, run nothing
+  --seed N             base generation seed (default 24301); replica k of
+                       a cell runs at seed N+k
+  --no-refs            skip the twelve reference-game jobs (faster, but
+                       the summary then has no distance ranking)
 
 serve / submit / status options:
   --addr HOST:PORT     daemon address: bind address for 'serve' (default
@@ -223,6 +247,9 @@ struct Options {
     torture_all: bool,
     torture_list: bool,
     torture_matrix: bool,
+    grid: Option<String>,
+    dry_run: bool,
+    no_refs: bool,
 }
 
 impl Options {
@@ -235,13 +262,13 @@ impl Options {
 
 /// The experiment vocabulary, for unknown-experiment diagnostics.
 const KNOWN_EXPERIMENTS: &str =
-    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, trace, serve, submit, status, torture";
+    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, sweep, trace, serve, submit, status, torture";
 
 fn is_experiment_name(s: &str) -> bool {
     matches!(
         s,
-        "all" | "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
-            | "status" | "torture"
+        "all" | "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "serve"
+            | "submit" | "status" | "torture"
     ) || s.starts_with("table")
         || s.starts_with("fig")
 }
@@ -283,6 +310,9 @@ fn parse_args() -> Options {
     let mut torture_all = false;
     let mut torture_list = false;
     let mut torture_matrix = false;
+    let mut grid = None;
+    let mut dry_run = false;
+    let mut no_refs = false;
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -410,6 +440,10 @@ fn parse_args() -> Options {
                 }
                 torture_sites.push(v);
             }
+            "--grid" => grid = Some(value(&mut args, &arg)),
+            "--dry-run" => dry_run = true,
+            "--seed" => config.seed = parse(&arg, value(&mut args, &arg), "a seed"),
+            "--no-refs" => no_refs = true,
             "--all" => torture_all = true,
             "--list" => torture_list = true,
             "--matrix" => torture_matrix = true,
@@ -464,6 +498,9 @@ fn parse_args() -> Options {
         torture_all,
         torture_list,
         torture_matrix,
+        grid,
+        dry_run,
+        no_refs,
     }
 }
 
@@ -1042,6 +1079,84 @@ fn run_campaign_cmd(options: &Options) -> bool {
     outcome.failed() == 0
 }
 
+/// `repro sweep`: a procedural-scenario grid as a supervised campaign,
+/// reduced to feature vectors and a distance ranking against the paper
+/// games. Returns whether every cell succeeded with its declared
+/// characteristics intact.
+fn run_sweep(options: &Options) -> bool {
+    use gwc_bench::sweep;
+
+    let Some(spec) = &options.grid else {
+        bad_arg(
+            "'sweep' requires '--grid SPEC' (e.g. --grid 'archetype=corridor,storm; style=prepass; api=sorted'; try --dry-run first)"
+                .into(),
+        );
+    };
+    let grid = match gwc_scenarios::GridSpec::parse(spec) {
+        Ok(grid) => grid,
+        Err(e) => bad_arg(format!("invalid value for '--grid': {e}")),
+    };
+    let config = options.run_config();
+    let include_refs = !options.no_refs;
+    if options.dry_run {
+        print!("{}", sweep::dry_run_text(&grid, &config, include_refs));
+        return true;
+    }
+    let dir = PathBuf::from(&options.dir);
+    let (supervisor, _runner) = build_supervisor(options);
+    // Cell seeds ride in each job's RunConfig — Rung::apply preserves
+    // seeds, so --quick/--paper clamp frames and resolution only.
+    let jobs = sweep::sweep_jobs(&grid, options.config, options.rung, include_refs);
+    let campaign_opts = CampaignOptions {
+        dir: dir.clone(),
+        resume: options.campaign_resume,
+        stop_after: options.stop_after,
+    };
+    eprintln!(
+        "sweep: {} cells + {} references into {} (resume={})",
+        grid.cell_count(),
+        jobs.len() - grid.cell_count(),
+        dir.display(),
+        options.campaign_resume
+    );
+    let outcome = match run_campaign(&supervisor, &jobs, &campaign_opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("repro: sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if outcome.interrupted {
+        eprintln!(
+            "sweep interrupted after {} of {} jobs; finish with 'repro sweep --grid ... --dir {} --resume'",
+            outcome.entries.len(),
+            jobs.len(),
+            options.dir
+        );
+        return false;
+    }
+    let summary = match sweep::assemble_sweep(&dir, &outcome) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("repro: sweep assembly failed: {e}");
+            return false;
+        }
+    };
+    for f in &summary.failed {
+        eprintln!("sweep: FAILED {f}");
+    }
+    if !summary.rankings.is_empty() {
+        println!("{}", summary.ranking_table());
+    }
+    println!(
+        "sweep: {} cell vectors + {} reference vectors -> {}",
+        summary.cells.len(),
+        summary.refs.len(),
+        dir.join(sweep::FEATURES_FILE).display()
+    );
+    summary.failed.is_empty()
+}
+
 /// The daemon address for `submit`/`status`: `--addr` wins, then the
 /// `addr` file a running daemon writes into its data directory, then the
 /// default port.
@@ -1224,8 +1339,8 @@ fn main() {
     let needs_study = options.experiments.iter().any(|e| {
         !matches!(
             e.as_str(),
-            "ablations" | "replay" | "parallel" | "campaign" | "trace" | "serve" | "submit"
-                | "status" | "torture"
+            "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "serve"
+                | "submit" | "status" | "torture"
         )
     });
     let study = if needs_study {
@@ -1241,6 +1356,7 @@ fn main() {
             "replay" => run_replay(&options),
             "parallel" => run_parallel_bench(&options),
             "campaign" => all_ok &= run_campaign_cmd(&options),
+            "sweep" => all_ok &= run_sweep(&options),
             "trace" => all_ok &= run_trace(&options),
             "serve" => all_ok &= run_serve(&options),
             "submit" => all_ok &= run_submit(&options),

@@ -1,0 +1,206 @@
+//! `repro sweep`: run a procedural-scenario grid through the campaign
+//! supervisor and reduce it to feature vectors plus a distance ranking
+//! against the twelve paper games.
+//!
+//! A sweep is an ordinary campaign — every cell is a
+//! [`Experiment::Scenario`] job, so watchdog, retry, degradation,
+//! manifest persistence and `--resume` come from `gwc_harness` for free.
+//! After the campaign completes, the per-job artifacts are reduced to
+//! `sweep-features.csv` (one row per cell, then one per reference game)
+//! and a ranking table ordered by feature-space distance from the
+//! nearest reference game.
+
+use std::io;
+use std::path::Path;
+
+use gwc_core::RunConfig;
+use gwc_harness::{read_artifact, CampaignOutcome, Experiment, Job, ManifestEntry, Rung};
+use gwc_scenarios::{GridSpec, SCENARIO_PREFIX};
+use gwc_stats::{rank_against, FeatureVector, Ranking, Table};
+use gwc_workloads::GameProfile;
+
+/// File the assembled feature vectors are written to, inside the sweep
+/// directory.
+pub const FEATURES_FILE: &str = "sweep-features.csv";
+
+/// Builds the sweep job list: one [`Experiment::Scenario`] job per grid
+/// cell (in grid expansion order, each carrying its replica seed), then
+/// — when `include_refs` — one per Table I game so the ranking has
+/// reference vectors measured at the same configuration. Job ids are
+/// positional, like every other campaign.
+pub fn sweep_jobs(
+    grid: &GridSpec,
+    base: RunConfig,
+    start_rung: Rung,
+    include_refs: bool,
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for cell in grid.expand(base.seed) {
+        jobs.push(Job {
+            id: jobs.len() as u32,
+            game: cell.spec.name(),
+            experiment: Experiment::Scenario,
+            config: RunConfig { seed: cell.seed, ..base },
+            start_rung,
+            checkpoint: None,
+            trace: None,
+        });
+    }
+    if include_refs {
+        for p in GameProfile::all() {
+            jobs.push(Job {
+                id: jobs.len() as u32,
+                game: p.name.to_owned(),
+                experiment: Experiment::Scenario,
+                config: base,
+                start_rung,
+                checkpoint: None,
+                trace: None,
+            });
+        }
+    }
+    jobs
+}
+
+/// Renders the expanded grid without running anything (`--dry-run`):
+/// cell count, per-cell labels with seeds, and the reference-game tail.
+pub fn dry_run_text(grid: &GridSpec, base: &RunConfig, include_refs: bool) -> String {
+    let cells = grid.expand(base.seed);
+    let refs = if include_refs { GameProfile::all().len() } else { 0 };
+    let mut out = format!(
+        "sweep grid: {} cells + {} reference games = {} jobs (sim_frames={}, {}x{})\n",
+        cells.len(),
+        refs,
+        cells.len() + refs,
+        base.sim_frames,
+        base.width,
+        base.height,
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!("  job {i:>3}  {}\n", cell.label()));
+    }
+    if include_refs {
+        for (i, p) in GameProfile::all().iter().enumerate() {
+            out.push_str(&format!("  job {:>3}  {} (reference)\n", cells.len() + i, p.name));
+        }
+    }
+    out
+}
+
+/// Everything the sweep reduces to after the campaign completes.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Feature vectors of the successful scenario cells, in job order.
+    pub cells: Vec<FeatureVector>,
+    /// Feature vectors of the successful reference games, in job order.
+    pub refs: Vec<FeatureVector>,
+    /// Cells ranked by distance from their nearest reference game
+    /// (empty when the sweep ran without references).
+    pub rankings: Vec<Ranking>,
+    /// The `sweep-features.csv` content (header + cells + refs).
+    pub csv: String,
+    /// Jobs that produced no feature vector (failed or skipped).
+    pub failed: Vec<String>,
+}
+
+impl SweepSummary {
+    /// The human-readable ranking table (label, nearest game, distance).
+    pub fn ranking_table(&self) -> String {
+        let mut t = Table::new(
+            "scenarios by feature-space distance from the paper games",
+            &["scenario", "nearest game", "distance"],
+        );
+        for r in &self.rankings {
+            t.row(vec![r.label.clone(), r.nearest.clone(), format!("{:.3}", r.distance)]);
+        }
+        t.to_ascii()
+    }
+}
+
+fn parse_features(entry: &ManifestEntry, artifact: &str) -> Result<FeatureVector, String> {
+    let line = artifact
+        .lines()
+        .find_map(|l| l.strip_prefix("features: "))
+        .ok_or_else(|| format!("job {} artifact has no features line", entry.id))?;
+    FeatureVector::from_csv_row(line)
+        .map_err(|e| format!("job {} features unparsable: {e}", entry.id))
+}
+
+/// Reduces a completed sweep campaign to [`SweepSummary`] and writes
+/// [`FEATURES_FILE`] into the sweep directory. Failed jobs are listed,
+/// not fatal — a partially-failed sweep still ranks its survivors.
+pub fn assemble_sweep(dir: &Path, outcome: &CampaignOutcome) -> io::Result<SweepSummary> {
+    let mut cells = Vec::new();
+    let mut refs = Vec::new();
+    let mut failed = Vec::new();
+    for entry in &outcome.entries {
+        if entry.experiment != Experiment::Scenario {
+            continue;
+        }
+        if !entry.outcome.is_success() {
+            failed.push(format!("{} ({})", entry.game, entry.detail));
+            continue;
+        }
+        let artifact = read_artifact(dir, entry)?;
+        match parse_features(entry, &artifact) {
+            Ok(v) => {
+                if entry.game.starts_with(SCENARIO_PREFIX) {
+                    cells.push(v);
+                } else {
+                    refs.push(v);
+                }
+            }
+            Err(e) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
+    }
+    let rankings =
+        if refs.is_empty() || cells.is_empty() { Vec::new() } else { rank_against(&cells, &refs) };
+    let mut csv = String::new();
+    csv.push_str(&FeatureVector::csv_header());
+    csv.push('\n');
+    for v in cells.iter().chain(refs.iter()) {
+        csv.push_str(&v.to_csv_row());
+        csv.push('\n');
+    }
+    std::fs::write(dir.join(FEATURES_FILE), csv.as_bytes())?;
+    Ok(SweepSummary { cells, refs, rankings, csv, failed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(spec: &str) -> GridSpec {
+        GridSpec::parse(spec).expect("valid grid")
+    }
+
+    #[test]
+    fn jobs_are_positional_and_carry_replica_seeds() {
+        let g = grid("archetype=corridor,storm; style=prepass; api=sorted; seeds=2");
+        let base = RunConfig { seed: 10, ..RunConfig::quick() };
+        let jobs = sweep_jobs(&g, base, Rung::Default, true);
+        assert_eq!(jobs.len(), 4 + 12);
+        assert_eq!(jobs[0].game, "scn:corridor+prepass+sorted");
+        assert_eq!(jobs[0].config.seed, 10);
+        assert_eq!(jobs[1].config.seed, 11, "replica k runs at base seed + k");
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.id == i as u32));
+        assert!(jobs[4..].iter().all(|j| GameProfile::by_name(&j.game).is_some()));
+        assert!(jobs[4..].iter().all(|j| j.config.seed == 10));
+    }
+
+    #[test]
+    fn dry_run_lists_every_cell() {
+        let g = grid("archetype=corridor; style=prepass,post; api=sorted,mega; seeds=1");
+        let base = RunConfig::quick();
+        let text = dry_run_text(&g, &base, false);
+        assert!(text.contains("4 cells"));
+        assert!(text.contains("scn:corridor+prepass+sorted#24301"));
+        assert!(text.contains("scn:corridor+post+mega#24301"));
+        assert!(!text.contains("(reference)"));
+        let with_refs = dry_run_text(&g, &base, true);
+        assert!(with_refs.contains("12 reference games"));
+        assert!(with_refs.contains("Doom3/trdemo1 (reference)"));
+    }
+}

@@ -1,0 +1,93 @@
+//! The `repro sweep` contract at the campaign level: a scenario grid runs
+//! through the real supervisor and runner, every cell's artifact carries
+//! its feature vector and green characteristics, and a sweep killed
+//! mid-flight resumes to a bit-identical `sweep-features.csv`.
+//!
+//! Two frames at 160x120 and a two-cell grid keep this affordable in
+//! debug builds; the full 8-cell + 12-reference sweep is exercised by the
+//! CI `sweep-smoke` job through the release binary.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gwc_bench::sweep::{assemble_sweep, sweep_jobs, FEATURES_FILE};
+use gwc_bench::ReproRunner;
+use gwc_core::RunConfig;
+use gwc_harness::{
+    run_campaign, CampaignOptions, JobRunner, Rung, Supervisor, SupervisorConfig,
+};
+use gwc_scenarios::GridSpec;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gwc-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_config() -> RunConfig {
+    RunConfig { api_frames: 30, sim_frames: 2, width: 160, height: 120, seed: 7 }
+}
+
+fn supervisor() -> Supervisor {
+    let runner: Arc<dyn JobRunner> = Arc::new(ReproRunner::new());
+    Supervisor::new(SupervisorConfig::default(), runner)
+}
+
+fn grid() -> GridSpec {
+    GridSpec::parse("archetype=corridor,storm; style=prepass; api=sorted; seeds=1").unwrap()
+}
+
+#[test]
+fn sweep_cells_produce_green_artifacts_with_feature_vectors() {
+    let dir = temp_dir("green");
+    let jobs = sweep_jobs(&grid(), small_config(), Rung::Default, false);
+    assert_eq!(jobs.len(), 2);
+    let opts = CampaignOptions { dir: dir.clone(), resume: false, stop_after: None };
+    let outcome = run_campaign(&supervisor(), &jobs, &opts).unwrap();
+    assert!(!outcome.interrupted);
+    assert!(outcome.entries.iter().all(|e| e.outcome.is_success()));
+
+    let summary = assemble_sweep(&dir, &outcome).unwrap();
+    assert_eq!(summary.cells.len(), 2, "one feature vector per cell");
+    assert!(summary.refs.is_empty());
+    assert!(summary.rankings.is_empty(), "no references, no ranking");
+    assert!(summary.failed.is_empty());
+    let csv = std::fs::read_to_string(dir.join(FEATURES_FILE)).unwrap();
+    assert_eq!(csv, summary.csv);
+    assert_eq!(csv.lines().count(), 3, "header plus one row per cell");
+    assert!(csv.lines().nth(1).unwrap().starts_with("scn:corridor+prepass+sorted#7,"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_bit_identical_features() {
+    let config = small_config();
+    let jobs = sweep_jobs(&grid(), config, Rung::Default, false);
+
+    let dir_a = temp_dir("resume-baseline");
+    let opts_a = CampaignOptions { dir: dir_a.clone(), resume: false, stop_after: None };
+    let outcome_a = run_campaign(&supervisor(), &jobs, &opts_a).unwrap();
+    let summary_a = assemble_sweep(&dir_a, &outcome_a).unwrap();
+
+    // Kill the sweep after one job, then resume it from the manifest.
+    let dir_b = temp_dir("resume-interrupted");
+    let opts_kill = CampaignOptions { dir: dir_b.clone(), resume: false, stop_after: Some(1) };
+    let killed = run_campaign(&supervisor(), &jobs, &opts_kill).unwrap();
+    assert!(killed.interrupted);
+    assert_eq!(killed.entries.len(), 1);
+
+    let opts_resume = CampaignOptions { dir: dir_b.clone(), resume: true, stop_after: None };
+    let outcome_b = run_campaign(&supervisor(), &jobs, &opts_resume).unwrap();
+    assert!(!outcome_b.interrupted);
+    let summary_b = assemble_sweep(&dir_b, &outcome_b).unwrap();
+
+    assert_eq!(summary_a.csv, summary_b.csv, "resume changed the measured features");
+    let bytes_a = std::fs::read(dir_a.join(FEATURES_FILE)).unwrap();
+    let bytes_b = std::fs::read(dir_b.join(FEATURES_FILE)).unwrap();
+    assert_eq!(bytes_a, bytes_b, "resume changed {FEATURES_FILE} on disk");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -14,6 +14,11 @@ pub enum Experiment {
     Replay,
     /// The configuration ablation sweep (batch sizes, cache geometries).
     Ablations,
+    /// One procedural-scenario sweep cell (or reference game): simulate
+    /// the workload and reduce it to a feature vector plus declared-
+    /// characteristics verdicts. The job's `game` field carries either a
+    /// `scn:` scenario label or a Table I profile name.
+    Scenario,
 }
 
 impl Experiment {
@@ -23,6 +28,7 @@ impl Experiment {
             Experiment::Characterize => "characterize",
             Experiment::Replay => "replay",
             Experiment::Ablations => "ablations",
+            Experiment::Scenario => "scenario",
         }
     }
 
@@ -32,6 +38,7 @@ impl Experiment {
             "characterize" => Some(Experiment::Characterize),
             "replay" => Some(Experiment::Replay),
             "ablations" => Some(Experiment::Ablations),
+            "scenario" => Some(Experiment::Scenario),
             _ => None,
         }
     }
@@ -308,7 +315,12 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for e in [Experiment::Characterize, Experiment::Replay, Experiment::Ablations] {
+        for e in [
+            Experiment::Characterize,
+            Experiment::Replay,
+            Experiment::Ablations,
+            Experiment::Scenario,
+        ] {
             assert_eq!(Experiment::from_name(e.name()), Some(e));
         }
         for r in [Rung::Paper, Rung::Default, Rung::Quick] {

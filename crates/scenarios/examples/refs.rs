@@ -1,0 +1,23 @@
+use gwc_api::{ApiStats, Tee};
+use gwc_pipeline::{Gpu, GpuConfig};
+use gwc_workloads::{GameProfile, Timedemo, TimedemoConfig};
+
+fn main() {
+    let frames: u32 = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(2);
+    for p in GameProfile::all() {
+        let t0 = std::time::Instant::now();
+        let mut demo = Timedemo::new(p, TimedemoConfig { frames, seed: 0x5EED });
+        let mut api = ApiStats::new();
+        let mut gpu = Gpu::new(GpuConfig::r520(320, 240));
+        demo.emit_all(&mut Tee { a: &mut api, b: &mut gpu });
+        let v = gwc_scenarios::reduce(p.name, &api, &gpu, 320, 240);
+        println!(
+            "{:24} {:6.2}s  dc={:.2} vcache={:.2} bw_tex={:.2}",
+            p.name,
+            t0.elapsed().as_secs_f64(),
+            v.get("depth_complexity").unwrap(),
+            v.get("vcache_hit_rate").unwrap(),
+            v.get("bw_texture_share").unwrap()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let frames: u32 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(2);
+    let mut reds = 0;
+    for &archetype in &gwc_scenarios::Archetype::ALL {
+        for &style in &gwc_scenarios::RenderStyle::ALL {
+            for &api in &gwc_scenarios::ApiStyle::ALL {
+                let spec = gwc_scenarios::ScenarioSpec { archetype, style, api };
+                let cfg = gwc_scenarios::ScenarioConfig { frames, seed };
+                let run = gwc_scenarios::run_scenario(spec, cfg, 320, 240);
+                let mut line = format!("{:32}", spec.name());
+                for (e, r) in &run.verdicts {
+                    match r {
+                        Ok(v) => line.push_str(&format!("  OK {}={:.3}", e.feature, v)),
+                        Err(m) => { reds += 1; line.push_str(&format!("  RED[{m}]")); }
+                    }
+                }
+                println!("{line}");
+            }
+        }
+    }
+    println!("total red: {reds}");
+}

@@ -1,0 +1,163 @@
+//! Declared expected characteristics.
+//!
+//! Every scenario *declares* what it was built to stress — "depth
+//! complexity ≥ 3", "vertex-cache-hostile" — as bounds on named
+//! components of the post-run feature vector. The sweep runner asserts
+//! them after simulation, closing the loop between construction intent
+//! and measured behaviour.
+
+use gwc_stats::FeatureVector;
+
+use crate::spec::{ApiStyle, Archetype, RenderStyle, ScenarioSpec};
+
+/// A bound on one feature-vector component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Expectation {
+    /// Feature name (one of [`gwc_stats::FEATURE_NAMES`]).
+    pub feature: &'static str,
+    /// Inclusive lower bound, if any.
+    pub min: Option<f64>,
+    /// Inclusive upper bound, if any.
+    pub max: Option<f64>,
+}
+
+impl Expectation {
+    const fn at_least(feature: &'static str, min: f64) -> Self {
+        Expectation { feature, min: Some(min), max: None }
+    }
+
+    const fn at_most(feature: &'static str, max: f64) -> Self {
+        Expectation { feature, min: None, max: Some(max) }
+    }
+
+    /// Human-readable form, e.g. `depth_complexity >= 2.5`.
+    pub fn describe(&self) -> String {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => format!("{lo} <= {} <= {hi}", self.feature),
+            (Some(lo), None) => format!("{} >= {lo}", self.feature),
+            (None, Some(hi)) => format!("{} <= {hi}", self.feature),
+            (None, None) => format!("{} unconstrained", self.feature),
+        }
+    }
+
+    /// Checks the bound against a measured vector. Returns the measured
+    /// value on success, or an error naming the violated bound.
+    pub fn check(&self, vector: &FeatureVector) -> Result<f64, String> {
+        let value = vector
+            .get(self.feature)
+            .ok_or_else(|| format!("unknown feature `{}`", self.feature))?;
+        if let Some(lo) = self.min {
+            if value < lo {
+                return Err(format!(
+                    "expected {} >= {lo}, measured {value:.4}",
+                    self.feature
+                ));
+            }
+        }
+        if let Some(hi) = self.max {
+            if value > hi {
+                return Err(format!(
+                    "expected {} <= {hi}, measured {value:.4}",
+                    self.feature
+                ));
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// The declared characteristics for a scenario: the archetype's pinned
+/// bound(s) plus any render-style and API-style bounds.
+pub fn expectations(spec: ScenarioSpec) -> Vec<Expectation> {
+    let mut out = Vec::new();
+    match spec.archetype {
+        // Seven near-screen-filling layers plus the room: raster depth
+        // complexity stacks by construction.
+        Archetype::Corridor => out.push(Expectation::at_least("depth_complexity", 2.5)),
+        // Short strip rows fit the 16-entry post-transform cache.
+        Archetype::Terrain => out.push(Expectation::at_least("vcache_hit_rate", 0.30)),
+        // Disjoint particle vertices: vertex-cache-hostile, heavy overlap.
+        Archetype::Storm => {
+            out.push(Expectation::at_most("vcache_hit_rate", 0.10));
+            out.push(Expectation::at_least("depth_complexity", 1.5));
+        }
+        // Blocky alpha noise kills whole transparent quads.
+        Archetype::Foliage => out.push(Expectation::at_least("alpha_removed_share", 0.05)),
+        // Closed spheres: far hemispheres back-face the camera.
+        Archetype::Crowd => out.push(Expectation::at_least("culled_frac", 0.30)),
+    }
+    match spec.style {
+        RenderStyle::ManyPass => {
+            // Repeated color passes multiply shaded overdraw; the floor
+            // scales with how much screen the archetype covers per pass.
+            let floor = match spec.archetype {
+                Archetype::Corridor => 3.0,
+                Archetype::Terrain => 1.5,
+                Archetype::Storm => 6.0,
+                Archetype::Foliage => 4.0,
+                Archetype::Crowd => 0.6,
+            };
+            out.push(Expectation::at_least("overdraw_shaded", floor));
+        }
+        RenderStyle::Post => out.push(Expectation::at_least("texels_per_fragment", 2.0)),
+        RenderStyle::Prepass | RenderStyle::Stencil => {}
+    }
+    match spec.api {
+        ApiStyle::Tiny => out.push(Expectation::at_most("indices_per_batch", 128.0)),
+        ApiStyle::Mega => out.push(Expectation::at_least("indices_per_batch", 512.0)),
+        ApiStyle::Thrash => out.push(Expectation::at_least("state_calls_per_batch", 4.0)),
+        ApiStyle::Sorted => out.push(Expectation::at_most("state_calls_per_batch", 3.5)),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ApiStyle, Archetype, RenderStyle};
+    use gwc_stats::FEATURE_NAMES;
+
+    #[test]
+    fn every_spec_declares_expectations() {
+        for &archetype in &Archetype::ALL {
+            for &style in &RenderStyle::ALL {
+                for &api in &ApiStyle::ALL {
+                    let spec = ScenarioSpec { archetype, style, api };
+                    let exps = expectations(spec);
+                    // At least one archetype pin plus one API pin.
+                    assert!(exps.len() >= 2, "{} has too few expectations", spec.name());
+                    for e in &exps {
+                        assert!(
+                            FEATURE_NAMES.contains(&e.feature),
+                            "{} pins unknown feature {}",
+                            spec.name(),
+                            e.feature
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_enforces_bounds() {
+        let mut vector = FeatureVector {
+            label: "t".into(),
+            values: [0.0; gwc_stats::FEATURE_COUNT],
+        };
+        let idx = FEATURE_NAMES.iter().position(|&n| n == "depth_complexity").unwrap();
+        vector.values[idx] = 3.0;
+        assert!(Expectation::at_least("depth_complexity", 2.5).check(&vector).is_ok());
+        assert!(Expectation::at_least("depth_complexity", 3.5).check(&vector).is_err());
+        assert!(Expectation::at_most("depth_complexity", 2.5).check(&vector).is_err());
+        assert!(Expectation::at_least("no_such_feature", 0.0).check(&vector).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_feature_and_bound() {
+        let e = Expectation::at_least("vcache_hit_rate", 0.3);
+        assert_eq!(e.describe(), "vcache_hit_rate >= 0.3");
+        let e = Expectation::at_most("indices_per_batch", 128.0);
+        assert_eq!(e.describe(), "indices_per_batch <= 128");
+    }
+}

@@ -1,0 +1,124 @@
+//! Running a scenario through the simulated pipeline and reducing the
+//! counters to an AIWC-style feature vector.
+//!
+//! One emission pass feeds both the API-statistics sink and the GPU via
+//! [`gwc_api::Tee`], so the API-level and microarchitectural views come
+//! from the *same* command stream.
+
+use gwc_api::{ApiStats, Tee};
+use gwc_mem::MemClient;
+use gwc_pipeline::{CancelToken, Gpu, GpuConfig};
+use gwc_stats::{FeatureInputs, FeatureVector};
+
+use crate::emitter::{ScenarioConfig, ScenarioDemo};
+use crate::expect::{expectations, Expectation};
+use crate::spec::ScenarioSpec;
+
+/// The outcome of one simulated scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario that ran.
+    pub spec: ScenarioSpec,
+    /// The measured feature vector (labelled `<name>#<seed>`).
+    pub vector: FeatureVector,
+    /// Framebuffer CRC-32 after the last frame (determinism witness).
+    pub fb_crc: u32,
+    /// Declared-characteristics verdicts: (expectation, result).
+    pub verdicts: Vec<(Expectation, Result<f64, String>)>,
+}
+
+impl ScenarioRun {
+    /// True when every declared characteristic held.
+    pub fn all_green(&self) -> bool {
+        self.verdicts.iter().all(|(_, r)| r.is_ok())
+    }
+}
+
+/// Runs `spec` at `config` through the simulated pipeline at the given
+/// resolution and reduces the counters to a feature vector plus the
+/// declared-characteristics verdicts.
+pub fn run_scenario(
+    spec: ScenarioSpec,
+    config: ScenarioConfig,
+    width: u32,
+    height: u32,
+) -> ScenarioRun {
+    run_scenario_supervised(spec, config, width, height, None)
+        .expect("run without a token cannot be cancelled")
+}
+
+/// [`run_scenario`] under supervision: the GPU charges work ticks to the
+/// token, and a tripped token aborts the run and returns `None` (partial
+/// measurements are never surfaced).
+pub fn run_scenario_supervised(
+    spec: ScenarioSpec,
+    config: ScenarioConfig,
+    width: u32,
+    height: u32,
+    cancel: Option<&CancelToken>,
+) -> Option<ScenarioRun> {
+    let mut demo = ScenarioDemo::new(spec, config);
+    let mut api = ApiStats::new();
+    let mut gpu = Gpu::new(GpuConfig::r520(width, height));
+    if let Some(tok) = cancel {
+        gpu.set_cancel_token(tok.clone());
+    }
+    demo.emit_all(&mut Tee { a: &mut api, b: &mut gpu });
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return None;
+    }
+
+    let label = format!("{}#{}", spec.name(), config.seed);
+    let vector = reduce(&label, &api, &gpu, width, height);
+    let verdicts = expectations(spec)
+        .into_iter()
+        .map(|e| {
+            let r = e.check(&vector);
+            (e, r)
+        })
+        .collect();
+    Some(ScenarioRun { spec, vector, fb_crc: gpu.framebuffer_crc(), verdicts })
+}
+
+/// Reduces a finished (ApiStats, Gpu) pair to a labelled feature vector.
+pub fn reduce(label: &str, api: &ApiStats, gpu: &Gpu, width: u32, height: u32) -> FeatureVector {
+    let sim = gpu.stats().totals();
+    let traffic = gpu.memory().total();
+    let total_bytes = traffic.total() as f64;
+    let share = |c: MemClient| {
+        if total_bytes > 0.0 {
+            traffic.client(c).total() as f64 / total_bytes
+        } else {
+            0.0
+        }
+    };
+    let frames = api.frames() as f64;
+    let inputs = FeatureInputs {
+        frames,
+        pixels: (width * height) as f64,
+        batches: api.totals().batches as f64,
+        api_indices: api.totals().indices as f64,
+        state_calls: api.totals().state_calls as f64,
+        assembled: sim.assembled as f64,
+        clipped: sim.clipped as f64,
+        culled: sim.culled as f64,
+        geom_indices: sim.indices as f64,
+        vcache_hits: sim.vcache_hits as f64,
+        frags_raster: sim.frags_raster as f64,
+        frags_shaded: sim.frags_shaded as f64,
+        quads_hz_removed: sim.quads_hz_removed as f64,
+        quads_alpha_removed: sim.quads_alpha_removed as f64,
+        quads_raster: sim.quads_raster as f64,
+        fs_instructions: sim.fs_instructions as f64,
+        fs_tex_instructions: sim.fs_tex_instructions as f64,
+        bilinear_samples: sim.bilinear_samples as f64,
+        z_hit_rate: gpu.z_cache_stats().hit_rate(),
+        color_hit_rate: gpu.color_cache_stats().hit_rate(),
+        tex_l0_hit_rate: gpu.tex_l0_stats().hit_rate(),
+        tex_l1_hit_rate: gpu.tex_l1_stats().hit_rate(),
+        bw_texture_share: share(MemClient::Texture),
+        bw_zstencil_share: share(MemClient::ZStencil),
+        bw_color_share: share(MemClient::Color),
+    };
+    FeatureVector::from_inputs(label, &inputs)
+}

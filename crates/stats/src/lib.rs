@@ -9,6 +9,8 @@
 //! - [`Histogram`] — fixed-width bins with quantile queries.
 //! - [`bandwidth`] — byte-count → `MB/s @ fps` conversions used by
 //!   Tables III, XV and XVI.
+//! - [`features`] — AIWC-style architecture-independent feature vectors
+//!   for cross-workload comparison and diversity ranking.
 //! - [`Table`] — aligned ASCII/CSV table rendering for the `repro` harness.
 //! - [`ascii_chart`] — terminal rendering of figure series.
 //!
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod features;
 mod geom;
 mod histogram;
 mod running;
@@ -35,6 +38,7 @@ mod series;
 mod table;
 
 pub use bandwidth::BandwidthCounter;
+pub use features::{rank_against, FeatureInputs, FeatureVector, Ranking, FEATURE_COUNT, FEATURE_NAMES};
 pub use geom::GeomShard;
 pub use histogram::Histogram;
 pub use running::RunningStat;

@@ -30,5 +30,5 @@ pub mod shaders;
 mod profiles;
 mod timedemo;
 
-pub use profiles::{GameProfile, SceneKind};
+pub use profiles::{GameProfile, ProfileBuilder, SceneKind};
 pub use timedemo::{Timedemo, TimedemoConfig};
