@@ -100,6 +100,58 @@ pub fn simulate_traced(
     (gpu, collector)
 }
 
+/// Runs a procedural scenario with a telemetry collector attached at
+/// `level`, mirroring [`simulate_traced`] for `scn:` workloads. The
+/// trace's embedded game name is the scenario's canonical name, so the
+/// analytics layer groups scenario runs exactly like game runs. Returns
+/// the GPU and the collector (`None` at [`Level::Off`]).
+pub fn simulate_scenario_traced(
+    spec: gwc_scenarios::ScenarioSpec,
+    frames: u32,
+    width: u32,
+    height: u32,
+    seed: u64,
+    level: Level,
+) -> (Gpu, Option<Collector>) {
+    let name = spec.name();
+    let mut demo =
+        gwc_scenarios::ScenarioDemo::new(spec, gwc_scenarios::ScenarioConfig { frames, seed });
+    let mut gpu = Gpu::new(GpuConfig::r520(width, height));
+    if level != Level::Off {
+        gpu.enable_telemetry(level, &name, gwc_telemetry::DEFAULT_SPAN_CAPACITY);
+    }
+    demo.emit_all(&mut gpu);
+    let collector = gpu.take_telemetry();
+    (gpu, collector)
+}
+
+/// The `scn:` name grammar, for error messages next to the game list.
+pub fn scenario_grammar() -> String {
+    use gwc_scenarios::{ApiStyle, Archetype, RenderStyle};
+    let join = |names: Vec<&str>| names.join(", ");
+    format!(
+        "a procedural scenario 'scn:<archetype>+<style>+<api>' with\n  archetype: {}\n  style: {}\n  api: {}",
+        join(Archetype::ALL.iter().map(|a| a.name()).collect()),
+        join(RenderStyle::ALL.iter().map(|s| s.name()).collect()),
+        join(ApiStyle::ALL.iter().map(|s| s.name()).collect()),
+    )
+}
+
+/// Resolves a `--game` argument to a workload name: a `scn:` scenario
+/// (canonicalized through [`gwc_scenarios::ScenarioSpec::parse`]) or a
+/// Table I timedemo via [`resolve_game`]. Unknown names list both the
+/// valid games and the scenario grammar.
+pub fn resolve_workload(input: &str) -> Result<String, String> {
+    match gwc_scenarios::ScenarioSpec::parse(input) {
+        Some(Ok(spec)) => Ok(spec.name()),
+        Some(Err(e)) => Err(format!("{e}\nvalid names form {}", scenario_grammar())),
+        None => match resolve_game(input) {
+            Ok(name) => Ok(name.to_owned()),
+            Err(e) => Err(format!("{e}\nor {}", scenario_grammar())),
+        },
+    }
+}
+
 /// File paths of one exported trace set (all derived from one stem).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceArtifacts {

@@ -72,6 +72,17 @@ experiments:
                        response (see --addr, --game, --kind, --wait)
   status               query a running daemon: overall /stats, or one job
                        by --hash
+  analyze              cross-run trace analytics: scan --dir for GWTB
+                       traces (campaign dirs, sweep dirs, daemon data
+                       dirs), join campaign.json metadata, and emit a
+                       deterministic CSV report plus a self-contained
+                       HTML dashboard into --out — per-stage/per-stripe
+                       utilization on the work-tick clock, bottleneck
+                       attribution, cache-sensitivity spreads across
+                       configs, replica-divergence checks, and
+                       feature-space rankings (see --format); a running
+                       daemon serves the same report at GET /analyze and
+                       GET /dashboard
   torture              crash-test every durability boundary: for each
                        registered failpoint site, run a child daemon /
                        campaign / replay with that site armed (fail, torn
@@ -106,7 +117,9 @@ options:
 replay / trace options:
   --game NAME          Table I timedemo to run (default Doom3/trdemo2);
                        an unambiguous case-insensitive fragment works too
-                       (doom3, quake4, primeval)
+                       (doom3, quake4, primeval); 'trace' also accepts a
+                       procedural scenario scn:<archetype>+<style>+<api>
+                       (e.g. scn:corridor+prepass+sorted)
   --level LEVEL        telemetry detail for 'trace': off, counters, or
                        spans (default spans)
   --out DIR            directory for 'trace' artifacts (default traces)
@@ -175,6 +188,15 @@ serve / submit / status options:
                        default 600000)
   --wal-rotate-bytes N serve: journal size that triggers compacting
                        rotation (default 262144)
+
+analyze options:
+  --dir PATH           directory tree to scan for *.trace.bin (default:
+                       campaign — point it at a campaign --dir, a sweep
+                       --dir, or a daemon --data-dir)
+  --out DIR            where report.csv / dashboard.html land (default
+                       traces)
+  --format FMT         which artifact to write: csv, html, or both
+                       (default both)
 
 torture options (fault injection):
   --all                torture: crash-test every registered site (default
@@ -250,6 +272,7 @@ struct Options {
     grid: Option<String>,
     dry_run: bool,
     no_refs: bool,
+    format: String,
 }
 
 impl Options {
@@ -262,13 +285,13 @@ impl Options {
 
 /// The experiment vocabulary, for unknown-experiment diagnostics.
 const KNOWN_EXPERIMENTS: &str =
-    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, sweep, trace, serve, submit, status, torture";
+    "known experiments: all, table1..table17, fig1..fig8, ablations, replay, parallel, campaign, sweep, trace, analyze, serve, submit, status, torture";
 
 fn is_experiment_name(s: &str) -> bool {
     matches!(
         s,
-        "all" | "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "serve"
-            | "submit" | "status" | "torture"
+        "all" | "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "analyze"
+            | "serve" | "submit" | "status" | "torture"
     ) || s.starts_with("table")
         || s.starts_with("fig")
 }
@@ -313,6 +336,7 @@ fn parse_args() -> Options {
     let mut grid = None;
     let mut dry_run = false;
     let mut no_refs = false;
+    let mut format = "both".to_string();
     let mut args = std::env::args().skip(1).peekable();
 
     // A flag's value: present, or a named complaint.
@@ -440,6 +464,15 @@ fn parse_args() -> Options {
                 }
                 torture_sites.push(v);
             }
+            "--format" => {
+                let v = value(&mut args, &arg);
+                if !matches!(v.as_str(), "csv" | "html" | "both") {
+                    bad_arg(format!(
+                        "invalid value '{v}' for '--format' (expected csv, html, or both)"
+                    ));
+                }
+                format = v;
+            }
             "--grid" => grid = Some(value(&mut args, &arg)),
             "--dry-run" => dry_run = true,
             "--seed" => config.seed = parse(&arg, value(&mut args, &arg), "a seed"),
@@ -457,11 +490,25 @@ fn parse_args() -> Options {
         experiments.push("all".to_string());
     }
     // Resolve --game once, up front: exact Table I names pass through,
-    // unambiguous fragments expand, anything else is a usage error.
-    let game = match gwc_bench::resolve_game(&game) {
-        Ok(name) => name.to_owned(),
+    // unambiguous fragments expand, scn: scenario names canonicalize,
+    // anything else is a usage error listing games and the grammar.
+    let game = match gwc_bench::resolve_workload(&game) {
+        Ok(name) => name,
         Err(message) => bad_arg(format!("{message}\n(from '--game')")),
     };
+    // Scenario workloads only make sense where the scenario generator is
+    // wired in; the remaining --game consumers drive the Table I replay
+    // machinery and would reject the name far less legibly.
+    if game.starts_with(gwc_scenarios::SCENARIO_PREFIX) {
+        for e in &experiments {
+            if matches!(e.as_str(), "replay" | "parallel" | "submit") {
+                bad_arg(format!(
+                    "experiment '{e}' does not accept scenario workloads ('--game {game}'); \
+                     scenarios run under 'trace' and 'sweep'"
+                ));
+            }
+        }
+    }
     Options {
         experiments,
         config,
@@ -501,6 +548,7 @@ fn parse_args() -> Options {
         grid,
         dry_run,
         no_refs,
+        format,
     }
 }
 
@@ -957,21 +1005,29 @@ fn run_trace(options: &Options) -> bool {
         options.game,
         options.level.name()
     );
-    let (gpu, collector) = gwc_bench::simulate_traced(
-        &options.game,
-        frames,
-        w,
-        h,
-        options.level,
-        |c| c.threads = options.threads,
-    );
+    let (gpu, collector) = match gwc_scenarios::ScenarioSpec::parse(&options.game) {
+        Some(Ok(spec)) => gwc_bench::simulate_scenario_traced(
+            spec,
+            frames,
+            w,
+            h,
+            options.run_config().seed,
+            options.level,
+        ),
+        // parse_args canonicalized the name; a malformed scn: cannot
+        // reach here, but route it to the usage error all the same.
+        Some(Err(e)) => bad_arg(e),
+        None => gwc_bench::simulate_traced(&options.game, frames, w, h, options.level, |c| {
+            c.threads = options.threads
+        }),
+    };
     let collector = collector.expect("a non-off level always yields a collector");
     if let Err(e) = std::fs::create_dir_all(&options.out) {
         eprintln!("repro: cannot create trace directory {}: {e}", options.out);
         std::process::exit(1);
     }
     let stem = PathBuf::from(&options.out)
-        .join(options.game.replace(['/', ' '], "_"))
+        .join(options.game.replace(['/', ' ', ':', '+'], "_"))
         .to_string_lossy()
         .into_owned();
     let artifacts = match gwc_bench::export_trace(&collector, &stem) {
@@ -1039,6 +1095,71 @@ fn run_trace(options: &Options) -> bool {
         );
     }
     true
+}
+
+/// `repro analyze`: cross-run trace analytics over `--dir`, rendered to
+/// `--out` as a deterministic CSV report and/or a self-contained HTML
+/// dashboard. Exits 2 when there is nothing to analyze or a report
+/// cannot be persisted (the typed-degrade contract of the
+/// `analyze.write` failpoint site). Returns whether every discovered
+/// trace decoded and no replica diverged.
+fn run_analyze(options: &Options) -> bool {
+    let dir = PathBuf::from(&options.dir);
+    let index = match gwc_analyze::scan(&dir) {
+        Ok(index) => index,
+        Err(e) => {
+            eprintln!("repro: analyze: cannot scan {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    for s in &index.skipped {
+        eprintln!("repro: analyze: skipped {}: {}", s.rel_path, s.reason);
+    }
+    if index.runs.is_empty() {
+        eprintln!(
+            "repro: analyze: no usable GWTB traces (*.trace.bin) under {} ({} skipped)",
+            dir.display(),
+            index.skipped.len()
+        );
+        std::process::exit(2);
+    }
+    let report = gwc_analyze::aggregate(&index);
+
+    let mut t = Table::new(
+        format!("Analyze: {} runs in {} groups under {}", report.runs.len(), report.groups.len(), dir.display()),
+        &["workload", "runs", "configs", "bottleneck", "share"],
+    );
+    t.numeric();
+    for g in &report.groups {
+        t.row(vec![
+            g.workload.clone(),
+            g.runs.to_string(),
+            g.configs.to_string(),
+            g.bottleneck.clone(),
+            format!("{:.4}", g.bottleneck_share),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+    for key in &report.divergent {
+        eprintln!("repro: analyze: DIVERGENT replicas for {key} (same key, different trace bytes)");
+    }
+
+    let out_dir = PathBuf::from(&options.out);
+    let artifacts: Vec<(&str, PathBuf, String)> = [
+        ("csv", out_dir.join("report.csv"), gwc_analyze::csv(&report)),
+        ("html", out_dir.join("dashboard.html"), gwc_analyze::html(&report)),
+    ]
+    .into_iter()
+    .filter(|(kind, _, _)| options.format == "both" || options.format == *kind)
+    .collect();
+    for (_, path, contents) in &artifacts {
+        if let Err(e) = gwc_analyze::write_report(path, contents) {
+            eprintln!("repro: analyze: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    report.skipped.is_empty() && report.divergent.is_empty()
 }
 
 /// The supervised campaign: every experiment as a job, progress durable
@@ -1339,8 +1460,8 @@ fn main() {
     let needs_study = options.experiments.iter().any(|e| {
         !matches!(
             e.as_str(),
-            "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "serve"
-                | "submit" | "status" | "torture"
+            "ablations" | "replay" | "parallel" | "campaign" | "sweep" | "trace" | "analyze"
+                | "serve" | "submit" | "status" | "torture"
         )
     });
     let study = if needs_study {
@@ -1358,6 +1479,7 @@ fn main() {
             "campaign" => all_ok &= run_campaign_cmd(&options),
             "sweep" => all_ok &= run_sweep(&options),
             "trace" => all_ok &= run_trace(&options),
+            "analyze" => all_ok &= run_analyze(&options),
             "serve" => all_ok &= run_serve(&options),
             "submit" => all_ok &= run_submit(&options),
             "status" => all_ok &= run_status(&options),

@@ -150,6 +150,12 @@ const SCENARIOS: &[Scenario] = &[
         what: "hung job: the --drain-timeout-ms deadline forces exit 3, restart re-runs",
         run: |ctx, dir| hang_forced_drain(ctx, dir, HangEscalation::Deadline),
     },
+    Scenario {
+        site: "analyze.write",
+        tag: "analyze-enospc",
+        what: "ENOSPC persisting the dashboard: typed degrade, the in-memory report still serves",
+        run: analyze_degrade_scenario,
+    },
 ];
 
 /// What shape of exit a faulted child should have.
@@ -695,6 +701,48 @@ fn artifact_demotion_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
     let code = drain(&addr, &mut daemon)?;
     if code != Some(0) {
         return Err(format!("drain after demotion must be clean, got {code:?}"));
+    }
+    Ok(())
+}
+
+/// Dashboard persistence failure: `GET /dashboard` still serves the
+/// in-memory report (typed degrade, never a 500), stderr names the
+/// failure, the daemon stays healthy, and once the fault is spent a
+/// retry persists a file byte-equal to the body it serves.
+fn analyze_degrade_scenario(ctx: &mut Ctx, dir: &Path) -> Result<(), String> {
+    clean_dir(dir)?;
+    let mut daemon = ctx.start_daemon(dir, Some("analyze.write=enospc@1"), &[])?;
+    let addr = wait_ready(dir, &mut daemon)?;
+    let faulted =
+        exchange(&addr, "GET", "/dashboard", None).map_err(|e| format!("dashboard: {e}"))?;
+    if faulted.status != 200 || !faulted.text().contains("<html") {
+        return Err(format!(
+            "faulted /dashboard must still serve the in-memory report: HTTP {}",
+            faulted.status
+        ));
+    }
+    let log = daemon.stderr_text();
+    if !log.contains("dashboard not persisted") {
+        return Err(format!("stderr must report the typed degrade:\n{log}"));
+    }
+    let health = exchange(&addr, "GET", "/healthz", None).map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("daemon must stay up after the degrade: /healthz {}", health.status));
+    }
+    // The fault fired on hit 1 only: the retry persists the dashboard.
+    let retry =
+        exchange(&addr, "GET", "/dashboard", None).map_err(|e| format!("dashboard retry: {e}"))?;
+    if retry.status != 200 {
+        return Err(format!("dashboard retry: HTTP {}", retry.status));
+    }
+    let persisted = fs::read_to_string(dir.join("dashboard.html"))
+        .map_err(|e| format!("dashboard.html after the fault is spent: {e}"))?;
+    if persisted != retry.text() {
+        return Err("persisted dashboard must match the served report".into());
+    }
+    let code = drain(&addr, &mut daemon)?;
+    if code != Some(0) {
+        return Err(format!("drain after the degrade must be clean, got {code:?}"));
     }
     Ok(())
 }

@@ -166,6 +166,14 @@ pub const SITES: &[Site] = &[
         recovery: "abort: restart re-runs to a bit-identical artifact; hang: the drain \
                    deadline or a second SIGTERM forces exit 3",
     },
+    Site {
+        name: "analyze.write",
+        boundary: "analytics report/dashboard persistence",
+        guarantee: "reports are derived artifacts rebuilt from traces on demand; a torn file is \
+                    never read back as truth",
+        recovery: "typed degrade: `repro analyze` exits 2 with the storage error; the daemon \
+                   still serves the in-memory report on /analyze and /dashboard and stays up",
+    },
 ];
 
 /// Looks a site up by name.

@@ -453,14 +453,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: &str) {
     // on many stacks, and the read is bounded either way.
     let parsed = http::read_request(&mut stream);
     let banned = shared.lock().state.client_banned(peer, Instant::now());
-    // Health probes and shutdown stay reachable through a ban: a peer
-    // that spammed garbage must still be able to see liveness and an
-    // operator on the same host must still be able to drain.
+    // Health probes, shutdown, and the read-only analytics views stay
+    // reachable through a ban: a peer that spammed garbage must still be
+    // able to see liveness, an operator on the same host must still be
+    // able to drain, and a dashboard poll must not depend on the job
+    // admission path at all.
     let exempt = matches!(
         &parsed,
         Ok(r) if matches!(
             (r.method.as_str(), r.path.as_str()),
-            ("GET", "/healthz" | "/readyz") | ("POST", "/shutdown")
+            ("GET", "/healthz" | "/readyz" | "/analyze" | "/dashboard") | ("POST", "/shutdown")
         )
     );
     if let (Some(cooldown), false) = (banned, exempt) {
@@ -528,13 +530,46 @@ fn route(shared: &Shared, request: &http::Request, peer: &str) -> http::Response
             shared.work.notify_all();
             http::Response::text(200, "draining\n")
         }
+        ("GET", "/analyze") => analyze_get(shared, false),
+        ("GET", "/dashboard") => analyze_get(shared, true),
         ("POST", "/jobs") => submit(shared, &request.body),
         ("GET", _) if path.starts_with("/jobs/") => job_get(shared, &path["/jobs/".len()..]),
-        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/jobs") => {
+        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/jobs" | "/analyze" | "/dashboard") => {
             http::Response::text(405, "method not allowed\n")
         }
         _ => http::Response::text(404, "no such endpoint\n"),
     }
+}
+
+/// `GET /analyze` (CSV) and `GET /dashboard` (HTML): the cross-run
+/// analytics report over the daemon's own data directory, rebuilt per
+/// request from the GWTB traces traced jobs left behind. Read-only and
+/// lock-free: the scan tolerates traces appearing or being half-written
+/// mid-walk (corrupt files are skipped and listed, exactly as `repro
+/// analyze` would). The dashboard is also persisted to
+/// `<data-dir>/dashboard.html` through the `analyze.write` failpoint
+/// site — on storage failure the daemon logs, skips the file, and still
+/// serves the in-memory report: a typed degrade, never a 500 and never
+/// a fail-stop.
+fn analyze_get(shared: &Shared, dashboard: bool) -> http::Response {
+    let index = match gwc_analyze::scan(&shared.data_dir) {
+        Ok(index) => index,
+        Err(e) => return http::Response::text(500, format!("cannot scan data dir: {e}\n")),
+    };
+    let report = gwc_analyze::aggregate(&index);
+    if !dashboard {
+        return http::Response::text(200, gwc_analyze::csv(&report))
+            .with_header("Content-Type", "text/csv; charset=utf-8");
+    }
+    let page = gwc_analyze::html(&report);
+    let path = shared.data_dir.join("dashboard.html");
+    if let Err(e) = gwc_analyze::write_report(&path, &page) {
+        eprintln!(
+            "gwc-serve: dashboard not persisted to {}, serving in-memory copy: {e}",
+            path.display()
+        );
+    }
+    http::Response::text(200, page).with_header("Content-Type", "text/html; charset=utf-8")
 }
 
 /// `POST /jobs`: admission control with journal-before-acknowledge.

@@ -5,18 +5,13 @@
 //! themselves pure functions of the replayed command stream — so exported
 //! bytes are bit-identical across worker counts and checkpoint/resume.
 
-use crate::{pct, Collector, FrameSample, SpanEvent, SpanRing, Stage, STRIPE_STAGES};
+use crate::tracks::{self, PID, TID_CP, TID_FRAMES, TID_GEOM};
+use crate::{pct, Collector, FrameSample, SpanEvent, SpanRing, STRIPE_STAGES};
 use std::fmt::Write as _;
 
 // ---- Chrome / Perfetto JSON -------------------------------------------
-
-/// Track ids within the single trace process. Stripe tracks follow at
-/// `TID_STRIPE_BASE + stripe * STRIPE_STAGES.len() + stage_slot`.
-const PID: u32 = 1;
-const TID_FRAMES: u32 = 0;
-const TID_CP: u32 = 1;
-const TID_GEOM: u32 = 2;
-const TID_STRIPE_BASE: u32 = 3;
+// Track ids and names all come from `crate::tracks` — the one table the
+// GWTB reader shares, so exporter and reader can never disagree.
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -93,21 +88,21 @@ pub fn chrome_json(c: &Collector) -> String {
         c.level().name()
     );
 
-    push_meta_event(&mut out, "process_name", TID_FRAMES, "gwc-sim");
+    push_meta_event(&mut out, "process_name", TID_FRAMES, tracks::PROCESS_NAME);
     out.push(',');
-    push_meta_event(&mut out, "thread_name", TID_FRAMES, "frames");
+    push_meta_event(&mut out, "thread_name", TID_FRAMES, tracks::FRAMES_TRACK);
     out.push(',');
-    push_meta_event(&mut out, "thread_name", TID_CP, "command-processor");
+    push_meta_event(&mut out, "thread_name", TID_CP, tracks::CP_TRACK);
     out.push(',');
-    push_meta_event(&mut out, "thread_name", TID_GEOM, "geometry");
-    let tid_counters = TID_STRIPE_BASE + meta.stripes * STRIPE_STAGES.len() as u32;
+    push_meta_event(&mut out, "thread_name", TID_GEOM, tracks::GEOM_TRACK);
+    let tid_counters = tracks::counters_tid(meta.stripes);
     out.push(',');
-    push_meta_event(&mut out, "thread_name", tid_counters, "frame-counters");
+    push_meta_event(&mut out, "thread_name", tid_counters, tracks::COUNTERS_TRACK);
     for stripe in 0..meta.stripes {
         for (slot, stage) in STRIPE_STAGES.iter().enumerate() {
             out.push(',');
-            let tid = TID_STRIPE_BASE + stripe * STRIPE_STAGES.len() as u32 + slot as u32;
-            push_meta_event(&mut out, "thread_name", tid, &format!("stripe{stripe}/{}", stage.name()));
+            let tid = tracks::stripe_tid(stripe, slot);
+            push_meta_event(&mut out, "thread_name", tid, &tracks::stripe_track_name(stripe, *stage));
         }
     }
 
@@ -135,11 +130,10 @@ pub fn chrome_json(c: &Collector) -> String {
     push_ring(&mut out, &mut first, TID_GEOM, c.geom_track());
     // Fixed ascending stripe order — the same order stat shards merge in.
     for (stripe, ring) in c.stripe_tracks().iter().enumerate() {
-        let base = TID_STRIPE_BASE + stripe as u32 * STRIPE_STAGES.len() as u32;
         for (slot, stage) in STRIPE_STAGES.iter().enumerate() {
             for span in ring.iter().filter(|s| s.stage == *stage) {
                 out.push(',');
-                push_begin_end(&mut out, base + slot as u32, span);
+                push_begin_end(&mut out, tracks::stripe_tid(stripe as u32, slot), span);
             }
         }
     }
@@ -359,6 +353,16 @@ impl crate::Level {
             crate::Level::Spans => 2,
         }
     }
+
+    /// Inverse of [`crate::Level::tag`].
+    pub fn from_tag(tag: u8) -> Option<crate::Level> {
+        Some(match tag {
+            0 => crate::Level::Off,
+            1 => crate::Level::Counters,
+            2 => crate::Level::Spans,
+            _ => return None,
+        })
+    }
 }
 
 /// Summary returned by [`validate_binary`].
@@ -374,132 +378,24 @@ pub struct BinarySummary {
     pub dropped: u64,
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if n > self.buf.len() - self.pos {
-            return Err("binary trace truncated".into());
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, String> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-    fn u32(&mut self) -> Result<u32, String> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-    fn u64(&mut self) -> Result<u64, String> {
-        let b = self.take(8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_le_bytes(a))
-    }
-    fn str(&mut self) -> Result<String, String> {
-        let n = self.u32()? as usize;
-        if n > 1 << 20 {
-            return Err("binary trace string length implausible".into());
-        }
-        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| "binary trace string not UTF-8".into())
-    }
-}
-
 /// Verifies a GWTB blob end to end — magic, version, CRC-32 trailer, and
-/// full structural decode — returning a summary of its contents.
+/// full structural decode — returning a summary of its contents. This is
+/// a thin wrapper over the typed reader ([`crate::reader::read_trace`]);
+/// one decoder serves both validation and analytics.
 pub fn validate_binary(bytes: &[u8]) -> Result<BinarySummary, String> {
-    if bytes.len() < 11 {
-        return Err("binary trace too short".into());
-    }
-    if bytes[..4] != BINARY_MAGIC {
-        return Err("not a GWTB trace (bad magic)".into());
-    }
-    let body = &bytes[..bytes.len() - 4];
-    let stored = u32::from_le_bytes(
-        bytes[bytes.len() - 4..].try_into().map_err(|_| "binary trace truncated".to_string())?,
-    );
-    let actual = crc32(body);
-    if stored != actual {
-        return Err(format!("GWTB CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"));
-    }
-
-    let mut r = Reader { buf: body, pos: 4 };
-    let version = r.u16()?;
-    if version != BINARY_VERSION {
-        return Err(format!("unsupported GWTB version {version}"));
-    }
-    let _level = r.u8()?;
-    let game = r.str()?;
-    let _ = (r.u32()?, r.u32()?, r.u32()?); // width, height, stripe_rows
-    let stripes = r.u32()?;
-    let _span_capacity = r.u32()?;
-    let client_count = r.u32()?;
-    for _ in 0..client_count {
-        r.str()?;
-    }
-    let column_count = r.u32()? as usize;
-    if column_count != FrameSample::SCALAR_COLUMNS.len() {
-        return Err(format!("GWTB schema has {column_count} columns, expected {}", FrameSample::SCALAR_COLUMNS.len()));
-    }
-    for expected in FrameSample::SCALAR_COLUMNS {
-        let got = r.str()?;
-        if got != expected {
-            return Err(format!("GWTB schema column '{got}' where '{expected}' expected"));
-        }
-    }
-    let frames = r.u32()?;
-    for _ in 0..frames {
-        for _ in 0..column_count {
-            r.u64()?;
-        }
-        for _ in 0..client_count {
-            r.u64()?;
-            r.u64()?;
-        }
-    }
-    let ring_count = r.u32()?;
-    if ring_count != 3 + stripes {
-        return Err(format!(
-            "GWTB has {ring_count} rings for {stripes} stripes (expected frame + cp + geometry + stripes)"
-        ));
-    }
-    let mut spans = 0u64;
-    let mut dropped = 0u64;
-    for _ in 0..ring_count {
-        dropped += r.u64()?;
-        let n = r.u32()?;
-        spans += n as u64;
-        let mut prev_start = 0u64;
-        for _ in 0..n {
-            let tag = r.u8()?;
-            Stage::from_tag(tag).ok_or_else(|| format!("GWTB span has unknown stage tag {tag}"))?;
-            let start = r.u64()?;
-            let _ = (r.u64()?, r.u64()?, r.u64()?);
-            if start < prev_start {
-                return Err("GWTB ring spans are not tick-ordered".into());
-            }
-            prev_start = start;
-        }
-    }
-    if r.pos != body.len() {
-        return Err("GWTB has trailing bytes before the CRC".into());
-    }
-    Ok(BinarySummary { game, frames, spans, dropped })
+    let trace = crate::reader::read_trace(bytes).map_err(|e| e.to_string())?;
+    Ok(BinarySummary {
+        game: trace.meta.game.clone(),
+        frames: trace.frames.len() as u32,
+        spans: trace.spans(),
+        dropped: trace.dropped(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Level, TraceMeta};
+    use crate::{Level, Stage, TraceMeta};
 
     fn sample_collector(level: Level) -> Collector {
         let meta = TraceMeta {

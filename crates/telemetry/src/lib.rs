@@ -18,7 +18,10 @@
 //!
 //! Exporters live in [`export`]: Chrome/Perfetto `trace_event` JSON,
 //! per-frame CSV, and a compact self-describing binary container with a
-//! CRC-32 trailer. [`validate`] checks exported JSON without any external
+//! CRC-32 trailer. [`reader`] is the typed inverse of the binary writer
+//! (total over byte slices — corruption maps to [`reader::ReadError`],
+//! never a panic), [`tracks`] is the shared track-naming table both
+//! sides use, and [`validate`] checks exported JSON without any external
 //! tooling.
 
 #![forbid(unsafe_code)]
@@ -26,6 +29,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod export;
+pub mod reader;
+pub mod tracks;
 pub mod validate;
 
 /// Default capacity, in spans, of each per-track ring buffer.
